@@ -1,0 +1,338 @@
+(* cctree — command-line driver for the Congested Clique spanning-tree
+   sampler and its substrates.
+
+   Subcommands:
+     sample    sample spanning trees with the sublinear-round algorithm
+     doubling  sample via the load-balanced doubling walk (Corollaries 1-2)
+     walk      run/inspect random walks and cover times
+     schur     print SCHUR(G,S) and SHORTCUT(G,S) transition matrices
+     count     count spanning trees (Matrix-Tree)
+     pagerank  estimate PageRank from doubling walks
+
+   Graphs come either from a named family (-f family -n size) or from a file
+   in the line format of Graph.of_string ("n <count>" then "e u v [w]"). *)
+
+module Graph = Cc_graph.Graph
+module Gen = Cc_graph.Gen
+module Tree = Cc_graph.Tree
+module Net = Cc_clique.Net
+module Prng = Cc_util.Prng
+module Sampler = Cc_sampler.Sampler
+module Doubling = Cc_doubling.Doubling
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+(* --- common options --- *)
+
+let seed_t =
+  let doc = "PRNG seed (runs are deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let weights_t =
+  let doc =
+    "Reweight each edge with a uniform integer weight in [1, $(docv)] \
+     (footnote 1's bounded-integer-weight extension)."
+  in
+  Arg.(value & opt (some int) None & info [ "weights" ] ~doc ~docv:"W")
+
+let family_t =
+  let doc =
+    "Graph family: path, cycle, complete, star, grid, btree, lollipop, \
+     barbell, er:<p>, erlog:<c>, regular:<d>."
+  in
+  Arg.(value & opt (some string) None & info [ "f"; "family" ] ~doc)
+
+let size_t =
+  let doc = "Number of vertices for a generated family." in
+  Arg.(value & opt int 16 & info [ "n"; "size" ] ~doc)
+
+let file_t =
+  let doc = "Read the graph from $(docv) instead of generating one." in
+  Arg.(value & opt (some file) None & info [ "g"; "graph" ] ~doc ~docv:"FILE")
+
+let load_graph ?weights ~family ~size ~file ~prng () =
+  let g =
+    match (file, family) with
+    | Some path, _ ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        Graph.of_string s
+    | None, Some fam -> Gen.build prng (Gen.family_of_string fam) ~n:size
+    | None, None -> Gen.build prng Gen.Lollipop ~n:size
+  in
+  match weights with
+  | None -> g
+  | Some w -> Gen.random_weights prng g ~max_weight:w
+
+let print_tree tree =
+  List.iter (fun (u, v) -> Printf.printf "%d %d\n" u v) (Tree.edges tree)
+
+(* --- sample --- *)
+
+let sample_cmd =
+  let trials_t =
+    Arg.(value & opt int 1 & info [ "trials" ] ~doc:"Number of trees to sample.")
+  in
+  let ledger_t =
+    Arg.(value & flag & info [ "ledger" ] ~doc:"Print the per-label round ledger.")
+  in
+  let alpha_t =
+    Arg.(
+      value
+      & opt float Cc_clique.Matmul.default_alpha
+      & info [ "alpha" ] ~doc:"Matrix-multiplication exponent for the charged backend.")
+  in
+  let bits_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bits" ] ~doc:"Fixed-point fractional bits (Section 3.5); default exact.")
+  in
+  let method_t =
+    let doc =
+      "Sampler: cc (the Theorem 2 distributed sampler), sequential (the \
+       Section 1.2 phased reference), ab (Aldous-Broder), wilson, updown \
+       (basis-exchange MCMC), determinantal (leverage-score chain rule)."
+    in
+    Arg.(value & opt string "cc" & info [ "method" ] ~doc)
+  in
+  let run seed verbose family size file weights trials ledger alpha bits method_ =
+    setup_logs verbose;
+    let prng = Prng.create ~seed in
+    let g = load_graph ?weights ~family ~size ~file ~prng () in
+    let n = Graph.n g in
+    let net = Net.create ~n in
+    let config =
+      {
+        Sampler.default_config with
+        backend = Cc_clique.Matmul.charged ~alpha ();
+        bits;
+      }
+    in
+    for t = 1 to trials do
+      (match String.lowercase_ascii method_ with
+      | "cc" ->
+          let r = Sampler.sample ~config net prng g in
+          Printf.printf "# tree %d: %d phases, %.0f rounds, walk length %d\n" t
+            r.Sampler.phases r.Sampler.rounds r.Sampler.walk_total;
+          print_tree r.Sampler.tree
+      | "sequential" ->
+          let r = Cc_sampler.Sequential.sample g prng in
+          Printf.printf "# tree %d: %d phases, walk length %d\n" t
+            r.Cc_sampler.Sequential.phases r.Cc_sampler.Sequential.walk_total;
+          print_tree r.Cc_sampler.Sequential.tree
+      | "ab" ->
+          let tree, steps = Cc_walks.Aldous_broder.sample g prng ~start:0 in
+          Printf.printf "# tree %d: %d walk steps\n" t steps;
+          print_tree tree
+      | "wilson" ->
+          let tree, steps = Cc_walks.Wilson.sample g prng ~root:0 in
+          Printf.printf "# tree %d: %d walk steps\n" t steps;
+          print_tree tree
+      | "updown" ->
+          Printf.printf "# tree %d: %d chain steps\n" t
+            (Cc_walks.Updown.default_steps g);
+          print_tree (Cc_walks.Updown.sample_tree g prng)
+      | "determinantal" ->
+          Printf.printf "# tree %d (exact, leverage-score chain rule)\n" t;
+          print_tree (Cc_walks.Determinantal.sample_tree g prng)
+      | m -> failwith ("unknown method: " ^ m))
+    done;
+    if ledger then Format.printf "%a@." Net.pp_ledger net
+  in
+  let info =
+    Cmd.info "sample"
+      ~doc:"Sample spanning trees (Theorem 2 sampler by default; see --method)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ seed_t $ verbose_t $ family_t $ size_t $ file_t $ weights_t
+      $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t)
+
+(* --- doubling --- *)
+
+let doubling_cmd =
+  let tau_t =
+    Arg.(value & opt int 0 & info [ "tau" ] ~doc:"Walk length (0 = sample a tree instead).")
+  in
+  let run seed family size file tau =
+    let prng = Prng.create ~seed in
+    let g = load_graph ~family ~size ~file ~prng () in
+    let n = Graph.n g in
+    let net = Net.create ~n in
+    if tau > 0 then begin
+      let r = Doubling.run net prng g ~tau ~scheme:(Doubling.default_scheme ~n) in
+      Printf.printf "# %d iterations, %.0f rounds; walk from vertex 0:\n"
+        r.Doubling.iterations r.Doubling.rounds;
+      Array.iter (fun v -> Printf.printf "%d " v) r.Doubling.walks.(0);
+      print_newline ()
+    end
+    else begin
+      let tree, walk_len = Doubling.sample_tree net prng g ~tau0:n in
+      Printf.printf "# tree via doubling: %.0f rounds, walk length %d\n"
+        (Net.rounds net) walk_len;
+      print_tree tree
+    end
+  in
+  let info =
+    Cmd.info "doubling"
+      ~doc:"Load-balanced doubling walks and Corollary 1-2 tree sampling."
+  in
+  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t $ tau_t)
+
+(* --- walk --- *)
+
+let walk_cmd =
+  let len_t = Arg.(value & opt int 0 & info [ "len" ] ~doc:"Walk length (0 = measure cover time).") in
+  let trials_t = Arg.(value & opt int 20 & info [ "trials" ] ~doc:"Cover-time trials.") in
+  let run seed family size file len trials =
+    let prng = Prng.create ~seed in
+    let g = load_graph ~family ~size ~file ~prng () in
+    if len > 0 then begin
+      let w = Cc_walks.Walk.walk g prng ~start:0 ~len in
+      Array.iter (fun v -> Printf.printf "%d " v) w;
+      print_newline ()
+    end
+    else
+      Printf.printf "mean cover time over %d trials: %.1f steps (n=%d, m=%d)\n"
+        trials
+        (Cc_walks.Walk.mean_cover_time g prng ~trials)
+        (Graph.n g) (Graph.num_edges g)
+  in
+  let info = Cmd.info "walk" ~doc:"Random walks and cover times." in
+  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t $ len_t $ trials_t)
+
+(* --- schur --- *)
+
+let schur_cmd =
+  let s_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "subset" ] ~doc:"Comma-separated vertex subset S (default: even vertices).")
+  in
+  let run seed family size file s_spec =
+    let prng = Prng.create ~seed in
+    let g = load_graph ~family ~size ~file ~prng () in
+    let n = Graph.n g in
+    let s =
+      match s_spec with
+      | Some spec ->
+          Array.of_list (List.map int_of_string (String.split_on_char ',' spec))
+      | None -> Array.of_list (List.filter (fun v -> v mod 2 = 0) (List.init n (fun v -> v)))
+    in
+    Array.sort compare s;
+    let in_s = Cc_schur.Schur.members ~n ~s in
+    Format.printf "S = [%s]@."
+      (String.concat "; " (List.map string_of_int (Array.to_list s)));
+    Format.printf "@.SCHUR(G,S) transition matrix (rows/cols in S order):@.%a@."
+      Cc_linalg.Mat.pp
+      (Cc_schur.Schur.transition_exact g ~s);
+    Format.printf "@.SHORTCUT(G,S) transition matrix (n x n):@.%a@."
+      Cc_linalg.Mat.pp
+      (Cc_schur.Shortcut.exact g ~in_s)
+  in
+  let info = Cmd.info "schur" ~doc:"Print SCHUR(G,S) and SHORTCUT(G,S)." in
+  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t $ s_t)
+
+(* --- count --- *)
+
+let count_cmd =
+  let run seed family size file =
+    let prng = Prng.create ~seed in
+    let g = load_graph ~family ~size ~file ~prng () in
+    let log_count = Tree.log_count g in
+    Printf.printf "spanning trees: %.6g (log = %.4f)\n" (Float.exp log_count) log_count
+  in
+  let info = Cmd.info "count" ~doc:"Count spanning trees via the Matrix-Tree theorem." in
+  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t)
+
+(* --- pagerank --- *)
+
+let pagerank_cmd =
+  let eps_t = Arg.(value & opt float 0.15 & info [ "epsilon" ] ~doc:"Restart probability.") in
+  let walks_t = Arg.(value & opt int 32 & info [ "walks" ] ~doc:"Walks per vertex.") in
+  let run seed family size file epsilon walks =
+    let prng = Prng.create ~seed in
+    let g = load_graph ~family ~size ~file ~prng () in
+    let n = Graph.n g in
+    let net = Net.create ~n in
+    let est = Doubling.pagerank net prng g ~walks_per_node:walks ~epsilon in
+    let exact = Doubling.pagerank_exact g ~epsilon in
+    Printf.printf "# rounds: %.0f\n# vertex estimate exact\n" (Net.rounds net);
+    Array.iteri (fun v x -> Printf.printf "%d %.6f %.6f\n" v x exact.(v)) est
+  in
+  let info = Cmd.info "pagerank" ~doc:"PageRank from doubling walks vs power iteration." in
+  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t $ eps_t $ walks_t)
+
+(* --- congest --- *)
+
+let congest_cmd =
+  let run seed family size file =
+    let prng = Prng.create ~seed in
+    let g = load_graph ~family ~size ~file ~prng () in
+    let cnet = Cc_congest.Cnet.create g in
+    let naive = Cc_congest.Congest_walk.step_by_step cnet prng in
+    let cnet2 = Cc_congest.Cnet.create g in
+    let lambda =
+      Cc_congest.Congest_walk.auto_lambda cnet2
+        ~walk_estimate:(max 16 naive.Cc_congest.Congest_walk.walk_length)
+    in
+    let st = Cc_congest.Congest_walk.das_sarma cnet2 prng ~lambda ~eta:4 in
+    Printf.printf
+      "CONGEST (D = %d):\n  step-by-step: %.0f rounds (walk %d)\n  \
+       das-sarma stitched (lambda=%d): %.0f rounds (walk %d, %d stitches)\n"
+      (Cc_congest.Cnet.depth cnet)
+      naive.Cc_congest.Congest_walk.rounds naive.Cc_congest.Congest_walk.walk_length
+      lambda st.Cc_congest.Congest_walk.rounds st.Cc_congest.Congest_walk.walk_length
+      st.Cc_congest.Congest_walk.stitches
+  in
+  let info =
+    Cmd.info "congest"
+      ~doc:"Compare the CONGEST-model walk baselines (related work)."
+  in
+  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t)
+
+(* --- sparsify --- *)
+
+let sparsify_cmd =
+  let trees_t =
+    Arg.(value & opt int 4 & info [ "trees" ] ~doc:"Number of spanning trees to union.")
+  in
+  let run seed family size file trees =
+    let prng = Prng.create ~seed in
+    let g = load_graph ~family ~size ~file ~prng () in
+    let h =
+      Cc_apps.Sparsifier.union prng
+        (fun g prng -> Cc_walks.Wilson.sample_tree g prng)
+        g ~trees ~reweight:true
+    in
+    let q = Cc_apps.Sparsifier.evaluate prng g h ~probes:300 in
+    Printf.printf
+      "# %d trees: kept %d/%d edges; cut ratios [%.3f, %.3f]; Rayleigh [%.3f, %.3f]\n"
+      trees q.Cc_apps.Sparsifier.edges_kept (Graph.num_edges g)
+      q.Cc_apps.Sparsifier.cut_ratio_min q.Cc_apps.Sparsifier.cut_ratio_max
+      q.Cc_apps.Sparsifier.rayleigh_min q.Cc_apps.Sparsifier.rayleigh_max;
+    print_string (Graph.to_string h)
+  in
+  let info =
+    Cmd.info "sparsify" ~doc:"Sparsify by a reweighted union of random spanning trees."
+  in
+  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t $ trees_t)
+
+let main =
+  let doc = "Spanning-tree sampling in the Congested Clique (PODC 2025 reproduction)." in
+  let info = Cmd.info "cctree" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ sample_cmd; doubling_cmd; walk_cmd; schur_cmd; count_cmd; pagerank_cmd;
+      sparsify_cmd; congest_cmd ]
+
+let () = exit (Cmd.eval main)

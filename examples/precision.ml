@@ -1,0 +1,64 @@
+(* Section 3.5 end to end: how much fixed-point precision does the sampler
+   actually need?
+
+   The paper proves that O(log^2 n)-bit entries suffice for 1/n^c total
+   variation error. Here we sweep the fractional-bit budget and measure the
+   empirical TV distance of the sampled tree distribution from uniform on a
+   graph small enough to enumerate: with very few bits the midpoint
+   distributions are visibly distorted; a few dozen bits are already
+   indistinguishable from exact arithmetic.
+
+   Run with:  dune exec examples/precision.exe *)
+
+module Gen = Cc_graph.Gen
+module Tree = Cc_graph.Tree
+module Net = Cc_clique.Net
+module Prng = Cc_util.Prng
+module Dist = Cc_util.Dist
+module Stats = Cc_util.Stats
+module Sampler = Cc_sampler.Sampler
+module Table = Cc_util.Table
+
+let () =
+  let g = Gen.complete 4 in
+  let trees, lookup = Tree.index g in
+  let support = Array.length trees in
+  let trials = 6000 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "K4 (%d trees), %d samples per row; noise floor ~ %.4f" support
+           trials
+           (Stats.tv_noise_floor ~samples:trials ~support))
+      ~columns:[ "fractional bits"; "TV to uniform" ]
+  in
+  let run bits label =
+    let config = { Sampler.default_config with bits } in
+    let counts = Array.make support 0 in
+    let net = Net.create ~n:4 in
+    let prng = Prng.create ~seed:5 in
+    match
+      for _ = 1 to trials do
+        let r = Sampler.sample ~config net prng g in
+        counts.(lookup r.Sampler.tree) <- counts.(lookup r.Sampler.tree) + 1
+      done
+    with
+    | () ->
+        Table.add_row table
+          [ label;
+            Table.cell_float ~decimals:4 (Dist.tv_counts ~counts (Dist.uniform support)) ]
+    | exception Failure _ ->
+        (* Too few bits: the truncated powers collapsed to zero (Lemma 3's
+           budget is blown by orders of magnitude). *)
+        Table.add_row table [ label; "degenerate (walk law collapsed)" ]
+  in
+  List.iter (fun b -> run (Some b) (string_of_int b)) [ 4; 6; 8; 12; 20; 40 ];
+  run None "exact (IEEE double)";
+  Table.print table;
+  print_endline
+    "\nBelow ~8 bits the truncated matrix powers collapse entirely (Lemma 3's\n\
+     budget is blown by orders of magnitude and whole rows round to zero);\n\
+     from ~8 bits the sampler works and by ~12 bits the tree distribution\n\
+     sits at the sampling-noise floor — comfortably under the paper's\n\
+     O(log^2 n)-bit prescription."

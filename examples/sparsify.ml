@@ -1,0 +1,51 @@
+(* Graph sparsification from random spanning trees — the application the
+   paper's introduction cites (expanders via random spanning trees,
+   Goyal-Rademacher-Vempala; the framework of Fung et al.).
+
+   The union of t independent uniform spanning trees, reweighted by inverse
+   leverage, is an unbiased and increasingly accurate spectral approximation
+   of the graph using only t(n-1) of its edges.
+
+   Run with:  dune exec examples/sparsify.exe *)
+
+module Graph = Cc_graph.Graph
+module Gen = Cc_graph.Gen
+module Sparsifier = Cc_apps.Sparsifier
+module Prng = Cc_util.Prng
+module Table = Cc_util.Table
+
+let () =
+  let prng = Prng.create ~seed:31 in
+  let n = 32 in
+  let g = Gen.complete n in
+  Printf.printf "sparsifying K%d (%d edges) by unions of random spanning trees\n\n"
+    n (Graph.num_edges g);
+  let table =
+    Table.create
+      ~title:"reweighted tree unions: quadratic-form ratios x^T L_H x / x^T L_G x"
+      ~columns:
+        [ "trees"; "edges kept"; "fraction"; "cut ratio range"; "Rayleigh range" ]
+  in
+  List.iter
+    (fun t ->
+      let h =
+        Sparsifier.union prng
+          (fun g prng -> Cc_walks.Wilson.sample_tree g prng)
+          g ~trees:t ~reweight:true
+      in
+      let q = Sparsifier.evaluate prng g h ~probes:300 in
+      Table.add_row table
+        [
+          Table.cell_int t;
+          Table.cell_int q.Sparsifier.edges_kept;
+          Printf.sprintf "%.2f" q.Sparsifier.edge_fraction;
+          Printf.sprintf "[%.2f, %.2f]" q.Sparsifier.cut_ratio_min q.Sparsifier.cut_ratio_max;
+          Printf.sprintf "[%.2f, %.2f]" q.Sparsifier.rayleigh_min q.Sparsifier.rayleigh_max;
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  Table.print table;
+  print_endline
+    "\nBoth ranges tighten around 1.0 as trees are added — a spectral\n\
+     sparsifier built from exactly the primitive the paper's distributed\n\
+     sampler provides. In a Congested Clique deployment, t trees cost t\n\
+     independent runs of the Theorem 2 sampler."

@@ -1,0 +1,89 @@
+module Graph = Cc_graph.Graph
+module Tree = Cc_graph.Tree
+module Prng = Cc_util.Prng
+module Mat = Cc_linalg.Mat
+module Determinantal = Cc_walks.Determinantal
+
+type sampler = Graph.t -> Prng.t -> Tree.t
+
+let union prng sampler g ~trees ~reweight =
+  if trees < 1 then invalid_arg "Sparsifier.union: trees < 1";
+  let multiplicity = Hashtbl.create 64 in
+  for _ = 1 to trees do
+    let t = sampler g prng in
+    List.iter
+      (fun e ->
+        Hashtbl.replace multiplicity e
+          (1 + Option.value ~default:0 (Hashtbl.find_opt multiplicity e)))
+      (Tree.edges t)
+  done;
+  let leverage =
+    if reweight then
+      let table = Hashtbl.create 64 in
+      List.iter (fun (e, l) -> Hashtbl.add table e l) (Determinantal.marginals g);
+      fun e -> Hashtbl.find table e
+    else fun _ -> 1.0
+  in
+  let edges =
+    Hashtbl.fold
+      (fun (u, v) count acc ->
+        let w =
+          if reweight then
+            Graph.edge_weight g u v *. float_of_int count
+            /. (float_of_int trees *. leverage (u, v))
+          else float_of_int count
+        in
+        (u, v, w) :: acc)
+      multiplicity []
+  in
+  Graph.of_edges ~n:(Graph.n g) edges
+
+type quality = {
+  edges_kept : int;
+  edge_fraction : float;
+  cut_ratio_min : float;
+  cut_ratio_max : float;
+  rayleigh_min : float;
+  rayleigh_max : float;
+}
+
+(* x^T L x = sum over edges w(u,v) (x_u - x_v)^2. *)
+let quadratic_form g x =
+  List.fold_left
+    (fun acc (u, v, w) ->
+      let d = x.(u) -. x.(v) in
+      acc +. (w *. d *. d))
+    0.0 (Graph.edges g)
+
+let evaluate prng g h ~probes =
+  if Graph.n g <> Graph.n h then invalid_arg "Sparsifier.evaluate: vertex sets differ";
+  if probes < 1 then invalid_arg "Sparsifier.evaluate: probes < 1";
+  let n = Graph.n g in
+  let cut_min = ref infinity and cut_max = ref neg_infinity in
+  let ray_min = ref infinity and ray_max = ref neg_infinity in
+  let record mn mx x =
+    let qg = quadratic_form g x in
+    if qg > 1e-12 then begin
+      let ratio = quadratic_form h x /. qg in
+      mn := Float.min !mn ratio;
+      mx := Float.max !mx ratio
+    end
+  in
+  for _ = 1 to probes do
+    (* Random bipartition probe: indicator +-1, nonconstant. *)
+    let x = Array.init n (fun _ -> if Prng.bool prng then 1.0 else -1.0) in
+    x.(Prng.int prng n) <- -.x.(Prng.int prng n);
+    record cut_min cut_max x;
+    (* Gaussian-ish probe (sum of uniforms), centered. *)
+    let y = Array.init n (fun _ -> Prng.float prng 2.0 -. 1.0) in
+    let mean = Array.fold_left ( +. ) 0.0 y /. float_of_int n in
+    record ray_min ray_max (Array.map (fun v -> v -. mean) y)
+  done;
+  {
+    edges_kept = Graph.num_edges h;
+    edge_fraction = float_of_int (Graph.num_edges h) /. float_of_int (Graph.num_edges g);
+    cut_ratio_min = !cut_min;
+    cut_ratio_max = !cut_max;
+    rayleigh_min = !ray_min;
+    rayleigh_max = !ray_max;
+  }

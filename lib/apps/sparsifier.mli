@@ -1,0 +1,42 @@
+(** Graph sparsification by unions of random spanning trees.
+
+    One of the applications motivating the paper (its introduction cites
+    Goyal–Rademacher–Vempala and Fung et al.): the union of a few independent
+    uniform random spanning trees is a good cut/spectral sparsifier. This
+    module builds tree-union sparsifiers from any tree sampler and measures
+    their quality, providing the end-to-end "why you'd want a distributed
+    tree sampler" demo (example + bench A1).
+
+    Quality is reported as the range of the ratio
+    [x^T L_H x / x^T L_G x] over probe directions x ⊥ 1 — for cut probes
+    (x = ±1 indicator vectors) this is exactly the cut-weight ratio. *)
+
+type sampler = Cc_graph.Graph.t -> Cc_util.Prng.t -> Cc_graph.Tree.t
+
+(** [union prng sampler g ~trees ~reweight] samples [trees] independent
+    spanning trees and returns their union. With [reweight = true] each tree
+    edge contributes weight [1 / (trees * leverage)] — the unbiased
+    estimator of its weight in G (E[L_H] = L_G); with [false] each distinct
+    edge simply gets its multiplicity (the GRV unweighted union). *)
+val union :
+  Cc_util.Prng.t ->
+  sampler ->
+  Cc_graph.Graph.t ->
+  trees:int ->
+  reweight:bool ->
+  Cc_graph.Graph.t
+
+type quality = {
+  edges_kept : int;
+  edge_fraction : float;  (** |E_H| / |E_G| *)
+  cut_ratio_min : float;
+  cut_ratio_max : float;  (** over random cut probes *)
+  rayleigh_min : float;
+  rayleigh_max : float;  (** over random Gaussian probes *)
+}
+
+(** [evaluate prng g h ~probes] measures how well [h] approximates [g]:
+    random-bipartition cut ratios plus Gaussian Rayleigh-quotient ratios
+    ([probes] of each). [h] must be on the same vertex set. *)
+val evaluate :
+  Cc_util.Prng.t -> Cc_graph.Graph.t -> Cc_graph.Graph.t -> probes:int -> quality

@@ -1,0 +1,138 @@
+type entry = { mutable rounds : float; mutable messages : int; mutable words : int }
+
+type t = {
+  n : int;
+  mutable total_rounds : float;
+  mutable total_messages : int;
+  mutable total_words : int;
+  by_label : (string, entry) Hashtbl.t;
+}
+
+let create ~n =
+  if n < 2 then invalid_arg "Net.create: need at least 2 machines";
+  {
+    n;
+    total_rounds = 0.0;
+    total_messages = 0;
+    total_words = 0;
+    by_label = Hashtbl.create 16;
+  }
+
+let n t = t.n
+
+type packet = { src : int; dst : int; words : int }
+
+let entry_for t label =
+  match Hashtbl.find_opt t.by_label label with
+  | Some e -> e
+  | None ->
+      let e = { rounds = 0.0; messages = 0; words = 0 } in
+      Hashtbl.add t.by_label label e;
+      e
+
+let book t ~label ~rounds ~messages ~words =
+  t.total_rounds <- t.total_rounds +. rounds;
+  t.total_messages <- t.total_messages + messages;
+  t.total_words <- t.total_words + words;
+  let e = entry_for t label in
+  e.rounds <- e.rounds +. rounds;
+  e.messages <- e.messages + messages;
+  e.words <- e.words + words
+
+let exchange t ~label packets =
+  let sent = Array.make t.n 0 and received = Array.make t.n 0 in
+  let messages = ref 0 and total_words = ref 0 in
+  List.iter
+    (fun { src; dst; words } ->
+      if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+        invalid_arg "Net.exchange: machine ID out of range";
+      if words < 0 then invalid_arg "Net.exchange: negative payload";
+      if src <> dst && words > 0 then begin
+        sent.(src) <- sent.(src) + words;
+        received.(dst) <- received.(dst) + words;
+        incr messages;
+        total_words := !total_words + words
+      end)
+    packets;
+  let load = ref 0 in
+  for i = 0 to t.n - 1 do
+    load := max !load (max sent.(i) received.(i))
+  done;
+  if !load > 0 then
+    let rounds = Float.of_int ((!load + t.n - 1) / t.n) in
+    book t ~label ~rounds ~messages:!messages ~words:!total_words
+
+let broadcast t ~label ~src ~words =
+  if src < 0 || src >= t.n then invalid_arg "Net.broadcast: bad source";
+  if words < 0 then invalid_arg "Net.broadcast: negative payload";
+  if words > 0 then
+    (* Broadcast tree: src splits the payload into n shares, one per machine,
+       then every machine rebroadcasts its share — 2 * ceil(words/n) rounds,
+       floored at 1 and booked as ceil(words/n) "effective" rounds to match
+       the standard O(ceil(W/n) + 1) accounting. *)
+    let rounds = Float.of_int (max 1 ((words + t.n - 1) / t.n)) in
+    book t ~label ~rounds ~messages:(t.n - 1) ~words:(words * (t.n - 1))
+
+let all_to_all t ~label ~words_each =
+  if words_each < 0 then invalid_arg "Net.all_to_all: negative payload";
+  if words_each > 0 then
+    let messages = t.n * (t.n - 1) in
+    book t ~label
+      ~rounds:(Float.of_int (max 1 words_each))
+      ~messages ~words:(messages * words_each)
+
+let aggregate t ~label ?(combinable = true) ~contributors ~dst words_each =
+  if dst < 0 || dst >= t.n then invalid_arg "Net.aggregate: bad destination";
+  if words_each < 0 then invalid_arg "Net.aggregate: negative payload";
+  let k =
+    List.fold_left
+      (fun acc src ->
+        if src < 0 || src >= t.n then invalid_arg "Net.aggregate: bad contributor";
+        if src = dst then acc else acc + 1)
+      0 contributors
+  in
+  if k > 0 && words_each > 0 then
+    let total = k * words_each in
+    let rounds =
+      if combinable then Float.of_int (max 1 ((words_each + t.n - 1) / t.n))
+      else Float.of_int ((total + t.n - 1) / t.n)
+    in
+    book t ~label ~rounds ~messages:k ~words:total
+
+let charge t ~label rounds =
+  if rounds < 0.0 then invalid_arg "Net.charge: negative rounds";
+  book t ~label ~rounds ~messages:0 ~words:0
+
+let rounds t = t.total_rounds
+let messages t = t.total_messages
+let words t = t.total_words
+
+let ledger t =
+  Hashtbl.fold (fun label e acc -> (label, e.rounds, e.messages, e.words) :: acc)
+    t.by_label []
+  |> List.sort (fun (_, r1, _, _) (_, r2, _, _) -> compare r2 r1)
+
+let reset t =
+  t.total_rounds <- 0.0;
+  t.total_messages <- 0;
+  t.total_words <- 0;
+  Hashtbl.reset t.by_label
+
+let word_bits t = max 8 (int_of_float (Float.ceil (Float.log2 (Float.of_int t.n))))
+
+let words_for_bits t bits =
+  if bits < 0 then invalid_arg "Net.words_for_bits: negative bits";
+  if bits = 0 then 0 else max 1 ((bits + word_bits t - 1) / word_bits t)
+
+let entry_words t =
+  let lg = int_of_float (Float.ceil (Float.log2 (Float.of_int t.n))) in
+  max 1 (words_for_bits t (lg * lg))
+
+let pp_ledger fmt t =
+  Format.fprintf fmt "@[<v>total rounds: %.1f, messages: %d, words: %d@,"
+    t.total_rounds t.total_messages t.total_words;
+  List.iter
+    (fun (label, r, m, w) ->
+      Format.fprintf fmt "  %-32s %10.1f rounds %10d msgs %12d words@," label r m w)
+    (ledger t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,92 @@
+(** The Congested Clique communication model (Section 2.1 of the paper).
+
+    [n] machines with IDs [0 .. n-1] communicate in synchronous rounds. In
+    one round each machine may send and receive O(n) messages of O(log n)
+    bits each; by Lenzen's routing theorem the destinations are unrestricted
+    as long as no machine sends or receives more than n messages. This module
+    is the metering layer every distributed algorithm in the repository moves
+    its data through: an [exchange] of packets is charged
+    [ceil(max-per-machine load / n)] rounds, and a ledger records rounds,
+    messages, and words per algorithm-supplied label.
+
+    One {e word} is the paper's O(log n)-bit message unit: it can carry a
+    constant number of vertex IDs or one limb of a fixed-point probability.
+    [words_for_bits] converts a bit count into words at the current n.
+
+    Local computation is unbounded in the model, so the simulator performs
+    machine-local steps inline; only communication affects the ledger. *)
+
+type t
+
+(** [create ~n] builds a clique of [n >= 2] machines. *)
+val create : n:int -> t
+
+val n : t -> int
+
+(** {1 Packets and exchanges} *)
+
+type packet = { src : int; dst : int; words : int }
+(** A point-to-point payload of [words] words. [src = dst] packets are free
+    (local memory) but validated. *)
+
+(** [exchange t ~label packets] delivers all packets in
+    [ceil(L / n)] rounds where [L] is the maximum number of words any single
+    machine sends or receives — Lenzen routing. The packets' payloads are
+    carried by the caller; the simulator only meters them.
+    @raise Invalid_argument on out-of-range machine IDs or negative sizes. *)
+val exchange : t -> label:string -> packet list -> unit
+
+(** [broadcast t ~label ~src ~words] delivers the same [words]-word payload
+    from [src] to every machine: [max 1 (ceil (words / n))] rounds via a
+    broadcast tree (each recipient re-shares its share). *)
+val broadcast : t -> label:string -> src:int -> words:int -> unit
+
+(** [all_to_all t ~label ~words_each] is the dense pattern in which every
+    machine sends [words_each] words to every other machine —
+    [max 1 words_each] rounds. Used by the transpose step of the
+    Initialization (every machine i sends P^k[i,j] to machine j). *)
+val all_to_all : t -> label:string -> words_each:int -> unit
+
+(** [aggregate t ~label ~contributors ~dst ~words_each] models a converge-cast
+    in which each listed machine sends the final (positional) [words_each] words toward [dst]; sums
+    are combined along the way when [combinable] (default true), costing
+    [ceil(total / n)] rounds when not combinable and
+    [max 1 (ceil (words_each / n))] (tree combining) when combinable. *)
+val aggregate :
+  t ->
+  label:string ->
+  ?combinable:bool ->
+  contributors:int list ->
+  dst:int ->
+  int ->
+  unit
+
+(** [charge t ~label rounds] books rounds for a primitive whose cost is known
+    analytically rather than routed (e.g. fast matrix multiplication with the
+    Charged backend). *)
+val charge : t -> label:string -> float -> unit
+
+(** {1 Accounting} *)
+
+val rounds : t -> float
+val messages : t -> int
+val words : t -> int
+
+(** [ledger t] is the per-label (rounds, messages, words) breakdown, sorted
+    by descending rounds. *)
+val ledger : t -> (string * float * int * int) list
+
+(** [reset t] zeroes all counters. *)
+val reset : t -> unit
+
+(** [words_for_bits t bits] is the number of O(log n)-bit words needed to
+    carry [bits] bits at this clique size (word size = max 8 (ceil(log2 n))). *)
+val words_for_bits : t -> int -> int
+
+(** [entry_words t] is the number of words carrying one fixed-point matrix
+    entry of O(log^2 n) bits (Section 3.5) — i.e. [words_for_bits] of
+    [log2 n * log2 n], at least 1. *)
+val entry_words : t -> int
+
+(** [pp_ledger fmt t] pretty-prints the ledger. *)
+val pp_ledger : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** Random-walk spanning-tree sampling in the CONGEST model.
+
+    Two baselines bracketing the related-work landscape:
+
+    - [step_by_step]: the naive token walk — one round per step, so a cover
+      walk costs cover-time rounds (the Θ(mn)-round strawman the paper's
+      clique algorithms beat).
+    - [das_sarma]: a metered implementation of the Das Sarma–Nanongkai–
+      Pandurangan–Tetali speed-up: every vertex pre-builds [eta] independent
+      short walks of length [lambda] (tokens advance one edge per round;
+      per-round cost = the worst per-edge congestion), and the long walk is
+      then assembled by stitching — each stitch consumes an unused short
+      walk of the current endpoint and teleports the walk token there by
+      BFS-tree routing (<= 2D rounds). Exhausted vertices fall back to
+      single steps. With lambda ~ sqrt(L D) this reproduces their
+      Õ(sqrt(L D)) round bound for a length-L walk, and spanning-tree
+      sampling lands at Õ(sqrt(m) D)-scale — the bench E11 comparison
+      point against the clique algorithms.
+
+    Both produce exact Aldous-Broder trees: stitching pre-sampled
+    independent short walks is a faithful walk by the Markov property, and
+    each short walk is consumed at most once. *)
+
+type result = {
+  tree : Cc_graph.Tree.t;
+  rounds : float;
+  walk_length : int;  (** steps of the underlying covering walk *)
+  stitches : int;  (** shortcut jumps used (0 for step-by-step) *)
+}
+
+(** [step_by_step net prng] runs Aldous-Broder with a token moving one edge
+    per round, starting at vertex 0. *)
+val step_by_step : Cnet.t -> Cc_util.Prng.t -> result
+
+(** [das_sarma net prng ~lambda ~eta] pre-builds [eta] length-[lambda] walks
+    per vertex and covers the graph by stitching (rebuilding batches as
+    needed). [lambda] defaults to [sqrt(cover-scale * depth)] heuristics via
+    [auto_lambda]. *)
+val das_sarma : Cnet.t -> Cc_util.Prng.t -> lambda:int -> eta:int -> result
+
+(** [auto_lambda net ~walk_estimate] is the balancing choice
+    sqrt(walk_estimate * depth), at least 1. *)
+val auto_lambda : Cnet.t -> walk_estimate:int -> int

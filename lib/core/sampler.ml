@@ -1,0 +1,248 @@
+module Graph = Cc_graph.Graph
+module Tree = Cc_graph.Tree
+module Net = Cc_clique.Net
+module Matmul = Cc_clique.Matmul
+module Mat = Cc_linalg.Mat
+module Prng = Cc_util.Prng
+module Dist = Cc_util.Dist
+module Schur = Cc_schur.Schur
+module Shortcut = Cc_schur.Shortcut
+
+let log_src = Logs.Src.create "cc.sampler" ~doc:"phase driver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type schur_mode = Exact_solve | Powering of { k : int option }
+
+type config = {
+  backend : Matmul.backend;
+  bits : int option;
+  rho : int option;
+  target_len : int option;
+  schur : schur_mode;
+  matching : Phase_walk.matching_mode;
+  max_phases : int;
+  lazy_walk : bool;
+}
+
+let default_config =
+  {
+    backend = Matmul.charged ();
+    bits = None;
+    rho = None;
+    target_len = None;
+    schur = Exact_solve;
+    matching = Phase_walk.Resample { mcmc_steps = None };
+    max_phases = 0 (* resolved against n at sample time *);
+    lazy_walk = true;
+  }
+
+type result = {
+  tree : Tree.t;
+  phases : int;
+  rounds : float;
+  walk_total : int;
+  phase_stats : Phase_walk.stats list;
+}
+
+let next_pow2 x =
+  let rec go p = if p >= x then p else go (2 * p) in
+  go 1
+
+let log2_ceil x = (* for x a power of two this is exact *)
+  let rec go p e = if p >= x then e else go (2 * p) (e + 1) in
+  go 1 0
+
+(* Lazy mixing (I + P) / 2: kills the periodicity of bipartite (sub)graphs
+   so that coarse-level truncation can fire; self-loop steps never produce
+   first-visit edges, and the embedded non-lazy walk is exactly the original
+   walk, so the sampled tree's law is unchanged. *)
+let lazy_mix m =
+  let n = Mat.rows m in
+  Mat.init ~rows:n ~cols:n (fun i j ->
+      (0.5 *. Mat.get m i j) +. if i = j then 0.5 else 0.0)
+
+(* Numeric cleanup: clamp dust and renormalize rows so Phase_walk receives a
+   proper stochastic matrix. *)
+let sanitize_stochastic m =
+  Mat.normalize_rows
+    (Mat.init ~rows:(Mat.rows m) ~cols:(Mat.cols m) (fun i j ->
+         Float.max 0.0 (Mat.get m i j)))
+
+let default_schur_k n = next_pow2 (16 * n * n * n)
+
+(* Rounds for computing SHORTCUT + SCHUR via the paper's powering pipeline:
+   log2 k squarings of the 2n x 2n auxiliary chain plus the QR product. *)
+let charge_schur_pipeline net backend ~k =
+  let n = Net.n net in
+  let squarings = log2_ceil k in
+  Net.charge net ~label:"shortcut powering"
+    (Float.of_int squarings *. Matmul.mul_cost net backend ~dim:(2 * n));
+  Net.charge net ~label:"schur normalize" (Matmul.mul_cost net backend ~dim:n)
+
+let sample ?(config = default_config) net prng g =
+  let n = Graph.n g in
+  if Net.n net <> n then invalid_arg "Sampler.sample: net size must equal n";
+  if not (Graph.is_connected g) then
+    invalid_arg "Sampler.sample: graph must be connected";
+  let rounds_before = Net.rounds net in
+  let rho =
+    match config.rho with
+    | Some r -> max 2 (min r n)
+    | None -> max 2 (int_of_float (Float.ceil (sqrt (Float.of_int n))))
+  in
+  let target_len =
+    match config.target_len with
+    | Some l -> next_pow2 (max 2 l)
+    | None ->
+        let lg = max 1 (int_of_float (Float.ceil (Float.log2 (Float.of_int n)))) in
+        next_pow2 (max 2 (n * n * n * lg))
+  in
+  let max_phases =
+    if config.max_phases > 0 then config.max_phases
+    else 64 * (1 + int_of_float (sqrt (Float.of_int n)))
+  in
+  let visited = Array.make n false in
+  visited.(0) <- true;
+  let remaining = ref (n - 1) in
+  let tree_edges = ref [] in
+  let current = ref 0 in
+  let phases = ref 0 in
+  let walk_total = ref 0 in
+  let stats_acc = ref [] in
+
+  (* Record a first-visit edge (u, v) for newly visited v. *)
+  let claim u v =
+    assert (not visited.(v));
+    visited.(v) <- true;
+    decr remaining;
+    tree_edges := (u, v) :: !tree_edges
+  in
+
+  while !remaining > 0 do
+    incr phases;
+    Log.debug (fun m ->
+        m "phase %d: %d unvisited, walk at vertex %d" !phases !remaining !current);
+    if !phases > max_phases then
+      failwith "Sampler.sample: max_phases exceeded (target_len too small?)";
+    if !phases = 1 then begin
+      (* Phase 1: walk on G itself; first-visit edges read off directly.
+         When fewer than rho vertices exist, truncate at full coverage
+         instead (the walk past cover time adds no first-visit edges). *)
+      let trans = Graph.transition_matrix g in
+      let trans = if config.lazy_walk then lazy_mix trans else trans in
+      let walk, stats =
+        Phase_walk.run net prng ~backend:config.backend ?bits:config.bits
+          ~trans
+          ~machine_of:(fun i -> i)
+          ~start:0 ~rho:(min rho n) ~target_len ~matching:config.matching ()
+      in
+      stats_acc := stats :: !stats_acc;
+      walk_total := !walk_total + Array.length walk - 1;
+      let fresh = ref [] in
+      Array.iteri
+        (fun idx v ->
+          if idx > 0 && not visited.(v) then begin
+            claim walk.(idx - 1) v;
+            fresh := v :: !fresh
+          end)
+        walk;
+      (* M distributes the first-visit edges to the vertices' machines. *)
+      Net.exchange net ~label:"first-visit edges"
+        (List.map (fun v -> { Net.src = 0; dst = v; words = 2 }) !fresh);
+      current := walk.(Array.length walk - 1)
+    end
+    else begin
+      (* Later phases: walk on SCHUR(G, S) with S = {current} + unvisited. *)
+      let s =
+        Array.of_list
+          (List.filter
+             (fun v -> v = !current || not visited.(v))
+             (List.init n (fun v -> v)))
+      in
+      let in_s = Schur.members ~n ~s in
+      let q, k_charge =
+        match config.schur with
+        | Exact_solve ->
+            (Shortcut.exact g ~in_s, default_schur_k n)
+        | Powering { k } ->
+            let k = Option.value ~default:(default_schur_k n) k in
+            (Shortcut.approx ?bits:config.bits g ~in_s ~k, k)
+      in
+      charge_schur_pipeline net config.backend ~k:k_charge;
+      let trans = sanitize_stochastic (Schur.transition_via_shortcut g q ~s) in
+      let trans = if config.lazy_walk then lazy_mix trans else trans in
+      let local_of = Hashtbl.create (Array.length s) in
+      Array.iteri (fun i v -> Hashtbl.add local_of v i) s;
+      let start_local = Hashtbl.find local_of !current in
+      if Array.length s = 2 then begin
+        (* Degenerate two-vertex phase: the Schur walk is a single forced
+           transition; sample the entry edge directly via Algorithm 4. *)
+        let v = if s.(0) = !current then s.(1) else s.(0) in
+        let weights =
+          Shortcut.first_visit_weights g q ~in_s ~prev:!current ~target:v
+        in
+        let idx = Dist.sample_weights (Array.map snd weights) prng in
+        claim (fst weights.(idx)) v;
+        Net.exchange net ~label:"first-visit edges"
+          ({ Net.src = 0; dst = v; words = 2 }
+          :: Array.to_list
+               (Array.map
+                  (fun (u, _) -> { Net.src = u; dst = v; words = 2 })
+                  weights));
+        walk_total := !walk_total + 1;
+        current := v
+      end
+      else begin
+        (* Cap rho at |S|: the final phases have fewer than rho unvisited
+           vertices, and truncating at the |S|-th distinct vertex stops the
+           walk exactly at coverage of S (beyond it no first-visit edge can
+           appear), keeping the materialized walk near the phase cover time. *)
+        let walk_local, stats =
+          Phase_walk.run net prng ~backend:config.backend ?bits:config.bits
+            ~trans
+            ~machine_of:(fun i -> s.(i))
+            ~start:start_local ~rho:(min rho (Array.length s)) ~target_len
+            ~matching:config.matching ()
+        in
+        stats_acc := stats :: !stats_acc;
+        walk_total := !walk_total + Array.length walk_local - 1;
+        let walk = Array.map (fun i -> s.(i)) walk_local in
+        (* Algorithm 4: sample the G-entry edge of every newly visited
+           vertex from Q[w_{i-1}, u] * w(u,v) / w_S(u) over neighbors u. *)
+        let packets = ref [] in
+        Array.iteri
+          (fun idx v ->
+            if idx > 0 && not visited.(v) then begin
+              let prev = walk.(idx - 1) in
+              let weights =
+                Shortcut.first_visit_weights g q ~in_s ~prev ~target:v
+              in
+              let widx = Dist.sample_weights (Array.map snd weights) prng in
+              claim (fst weights.(widx)) v;
+              packets := { Net.src = 0; dst = v; words = 2 } :: !packets;
+              Array.iter
+                (fun (u, _) ->
+                  packets := { Net.src = u; dst = v; words = 2 } :: !packets)
+                weights
+            end)
+          walk;
+        Net.exchange net ~label:"first-visit edges" !packets;
+        current := walk.(Array.length walk - 1)
+      end
+    end
+  done;
+  let tree = Tree.of_edges ~n !tree_edges in
+  assert (Tree.is_spanning_tree g tree);
+  {
+    tree;
+    phases = !phases;
+    rounds = Net.rounds net -. rounds_before;
+    walk_total = !walk_total;
+    phase_stats = List.rev !stats_acc;
+  }
+
+let sample_tree ?config ?(seed = 0) g =
+  let net = Net.create ~n:(Graph.n g) in
+  let prng = Prng.create ~seed in
+  (sample ?config net prng g).tree

@@ -1,0 +1,78 @@
+(** The sublinear-round spanning-tree sampler (Theorem 2, Section 3).
+
+    The algorithm implements Aldous–Broder on the Congested Clique in
+    O(sqrt n) phases. Each phase extends the underlying random walk until
+    rho = ceil(sqrt n) additional distinct vertices have been visited,
+    using the distributed top-down filling machinery of {!Phase_walk}; later
+    phases walk on the Schur complement SCHUR(G, S) of the not-yet-visited
+    vertex set (skipping everything already visited) and recover first-visit
+    edges in G through the shortcut graph (Algorithm 4). The union of
+    first-visit edges is the sampled spanning tree.
+
+    Every communication and matrix multiplication is metered on the supplied
+    {!Cc_clique.Net}; with the [Charged] matmul backend at alpha = 0.158 the
+    measured rounds reproduce the paper's Õ(n^(1/2+alpha)) bound (bench E3).
+
+    Input graphs must be connected; weighted graphs are supported per
+    footnote 1 (positive integer-ish weights), with the Algorithm 4 factors
+    generalized to [w(u,v)/w_S(u)]. *)
+
+type schur_mode =
+  | Exact_solve
+      (** compute SCHUR/SHORTCUT by exact linear algebra; rounds are still
+          charged as the paper's powering pipeline (the solve is a simulator
+          shortcut, not a different distributed algorithm). *)
+  | Powering of { k : int option }
+      (** the paper's route (Corollaries 3-4): k-step powering of the
+          absorbing chain; [None] picks the O(n^3 log)-scale default. *)
+
+type config = {
+  backend : Cc_clique.Matmul.backend;
+  bits : int option;
+      (** fixed-point fractional bits for every matrix pipeline (Section 3.5);
+          [None] = IEEE double ("exact") arithmetic. *)
+  rho : int option;  (** distinct-vertex budget per phase; default ceil(sqrt n). *)
+  target_len : int option;
+      (** per-phase target walk length l; default next_pow2(n^3 log2 n),
+          the Theta(n^3 log c_2) of Section 3.1. Smaller values trade more
+          phases for less materialized walk. *)
+  schur : schur_mode;
+  matching : Phase_walk.matching_mode;
+  max_phases : int;  (** safety bound; exceeded only if target_len is tiny. *)
+  lazy_walk : bool;
+      (** run each phase on the lazy chain (I+P)/2. Default true: on
+          bipartite (sub)graphs the plain chain is periodic, so entries at
+          power-of-two spacings all share one parity class and the rho-th
+          distinct vertex cannot appear before the final level — the leader's
+          partial walk then materializes to the full Theta(n^3) target
+          length. The paper's leader stores that for free (local space is
+          unbounded in the model); the simulator avoids it. Self-loop steps
+          never create first-visit edges and the embedded non-lazy walk is
+          exactly the original walk, so the sampled tree's distribution is
+          unchanged. *)
+}
+
+(** [default_config]: Charged matmul at alpha 0.158, exact arithmetic,
+    Exact_solve Schur, Resample matching, max_phases = 64 * sqrt n. *)
+val default_config : config
+
+type result = {
+  tree : Cc_graph.Tree.t;
+  phases : int;
+  rounds : float;  (** rounds booked on the net by this sample. *)
+  walk_total : int;  (** total length of the underlying walk across phases. *)
+  phase_stats : Phase_walk.stats list;  (** chronological, one per phase. *)
+}
+
+(** [sample ?config net prng g] draws one spanning tree of the connected
+    graph [g]. [Net.n net] must equal the vertex count; the walk starts at
+    vertex 0 (the leader's vertex, as in Algorithm 1).
+    @raise Invalid_argument on disconnected input or clique size mismatch.
+    @raise Failure if [max_phases] is exhausted. *)
+val sample :
+  ?config:config -> Cc_clique.Net.t -> Cc_util.Prng.t -> Cc_graph.Graph.t -> result
+
+(** [sample_tree ?config ?seed g] is a self-contained convenience wrapper:
+    builds the net, samples, returns just the tree. *)
+val sample_tree :
+  ?config:config -> ?seed:int -> Cc_graph.Graph.t -> Cc_graph.Tree.t

@@ -1,0 +1,110 @@
+module Graph = Cc_graph.Graph
+module Tree = Cc_graph.Tree
+module Prng = Cc_util.Prng
+module Dist = Cc_util.Dist
+module Mat = Cc_linalg.Mat
+module Schur = Cc_schur.Schur
+module Shortcut = Cc_schur.Shortcut
+module Topdown = Cc_walks.Topdown
+
+type result = { tree : Tree.t; phases : int; walk_total : int }
+
+let next_pow2 x =
+  let rec go p = if p >= x then p else go (2 * p) in
+  go 1
+
+let sanitize m =
+  Mat.normalize_rows
+    (Mat.init ~rows:(Mat.rows m) ~cols:(Mat.cols m) (fun i j ->
+         Float.max 0.0 (Mat.get m i j)))
+
+let sample ?rho ?target_len ?(lazy_walk = true) g prng =
+  let n = Graph.n g in
+  if not (Graph.is_connected g) then
+    invalid_arg "Sequential.sample: graph must be connected";
+  let rho =
+    match rho with
+    | Some r -> max 2 (min r n)
+    | None -> max 2 (int_of_float (Float.ceil (sqrt (Float.of_int n))))
+  in
+  let target_len =
+    match target_len with
+    | Some l -> next_pow2 (max 2 l)
+    | None ->
+        let lg = max 1 (int_of_float (Float.ceil (Float.log2 (Float.of_int n)))) in
+        next_pow2 (max 2 (n * n * n * lg))
+  in
+  let visited = Array.make n false in
+  visited.(0) <- true;
+  let remaining = ref (n - 1) in
+  let tree_edges = ref [] in
+  let current = ref 0 in
+  let phases = ref 0 in
+  let walk_total = ref 0 in
+  let claim u v =
+    visited.(v) <- true;
+    decr remaining;
+    tree_edges := (u, v) :: !tree_edges
+  in
+  while !remaining > 0 do
+    incr phases;
+    if !phases = 1 then begin
+      let trans = Graph.transition_matrix g in
+      let trans = if lazy_walk then Mat.half_lazy trans else trans in
+      let walk =
+        Topdown.sample_truncated_matrix prng ~trans ~start:0 ~target_len
+          ~rho:(min rho n) ()
+      in
+      walk_total := !walk_total + Array.length walk - 1;
+      Array.iteri
+        (fun idx v -> if idx > 0 && not visited.(v) then claim walk.(idx - 1) v)
+        walk;
+      current := walk.(Array.length walk - 1)
+    end
+    else begin
+      let s =
+        Array.of_list
+          (List.filter
+             (fun v -> v = !current || not visited.(v))
+             (List.init n (fun v -> v)))
+      in
+      let in_s = Schur.members ~n ~s in
+      let q = Shortcut.exact g ~in_s in
+      let claim_via_shortcut prev v =
+        let weights = Shortcut.first_visit_weights g q ~in_s ~prev ~target:v in
+        let idx = Dist.sample_weights (Array.map snd weights) prng in
+        claim (fst weights.(idx)) v
+      in
+      if Array.length s = 2 then begin
+        let v = if s.(0) = !current then s.(1) else s.(0) in
+        claim_via_shortcut !current v;
+        walk_total := !walk_total + 1;
+        current := v
+      end
+      else begin
+        let trans = sanitize (Schur.transition_via_shortcut g q ~s) in
+        let trans = if lazy_walk then Mat.half_lazy trans else trans in
+        let local_of = Hashtbl.create (Array.length s) in
+        Array.iteri (fun i v -> Hashtbl.add local_of v i) s;
+        let walk_local =
+          Topdown.sample_truncated_matrix prng ~trans
+            ~start:(Hashtbl.find local_of !current)
+            ~target_len
+            ~rho:(min rho (Array.length s))
+            ()
+        in
+        walk_total := !walk_total + Array.length walk_local - 1;
+        let walk = Array.map (fun i -> s.(i)) walk_local in
+        Array.iteri
+          (fun idx v ->
+            if idx > 0 && not visited.(v) then claim_via_shortcut walk.(idx - 1) v)
+          walk;
+        current := walk.(Array.length walk - 1)
+      end
+    end
+  done;
+  let tree = Tree.of_edges ~n !tree_edges in
+  assert (Tree.is_spanning_tree g tree);
+  { tree; phases = !phases; walk_total = !walk_total }
+
+let sample_tree g prng = (sample g prng).tree

@@ -1,0 +1,39 @@
+(** The paper's {e sequential} phased sampler (Section 1.2).
+
+    Section 1.2 introduces the algorithm in a sequential form before porting
+    it to the Congested Clique: in each phase, build a truncated top-down
+    walk (Lemma 2) on the Schur complement of the not-yet-visited vertices,
+    recover first-visit edges in G through the shortcut graph, and repeat
+    until the tree is complete. This module is that algorithm verbatim — no
+    simulator, no communication accounting — and serves two roles:
+
+    - a mid-fidelity reference: it exercises the phase structure,
+      Schur/shortcut machinery and Algorithm 4 exactly as the distributed
+      sampler does, while replacing the distributed walk internals
+      (binary-search truncation, multiset compression, matching placement)
+      with the sequential Lemma 2 walk, isolating where a distributional bug
+      would live;
+    - a practical standalone sampler whose per-phase work is one linear
+      solve + one truncated walk, i.e. the Kelner–Madry-style shortcutting
+      idea in its simplest executable form. *)
+
+type result = {
+  tree : Cc_graph.Tree.t;
+  phases : int;
+  walk_total : int;  (** total truncated-walk length across phases *)
+}
+
+(** [sample ?rho ?target_len ?lazy_walk g prng] draws a spanning tree of the
+    connected graph [g], starting the underlying walk at vertex 0.
+    Defaults mirror {!Sampler.default_config}: rho = ceil(sqrt n),
+    target_len = next_pow2(n^3 log2 n), lazy_walk = true. *)
+val sample :
+  ?rho:int ->
+  ?target_len:int ->
+  ?lazy_walk:bool ->
+  Cc_graph.Graph.t ->
+  Cc_util.Prng.t ->
+  result
+
+(** [sample_tree g prng] is [sample] discarding statistics. *)
+val sample_tree : Cc_graph.Graph.t -> Cc_util.Prng.t -> Cc_graph.Tree.t

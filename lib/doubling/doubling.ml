@@ -1,0 +1,229 @@
+module Graph = Cc_graph.Graph
+module Tree = Cc_graph.Tree
+module Walk = Cc_walks.Walk
+module Net = Cc_clique.Net
+module Prng = Cc_util.Prng
+module Kwise_hash = Cc_util.Kwise_hash
+module Mat = Cc_linalg.Mat
+
+type scheme =
+  | Load_balanced of { independence : int }
+  | Unbalanced
+
+type result = {
+  walks : int array array;
+  iterations : int;
+  max_tuples_received : int array;
+  rounds : float;
+}
+
+let default_scheme ~n =
+  let log_n = max 1 (int_of_float (Float.ceil (Float.log2 (Float.of_int n)))) in
+  Load_balanced { independence = 8 * log_n }
+
+let lemma4_bound ~n ~k ~c =
+  16.0 *. c *. Float.of_int k *. Float.log2 (Float.of_int n)
+
+let next_pow2 x =
+  let rec go p = if p >= x then p else go (2 * p) in
+  go 1
+
+(* Concatenate two walk segments sharing the junction vertex. *)
+let stitch w1 w2 =
+  assert (w1.(Array.length w1 - 1) = w2.(0));
+  Array.append w1 (Array.sub w2 1 (Array.length w2 - 1))
+
+(* One doubling run producing [walks_per_node] length-tau_pow walks per
+   vertex; tau_pow = next power of two >= tau. *)
+let run_multi net prng g ~tau ~walks_per_node ~scheme =
+  let n = Graph.n g in
+  if Net.n net <> n then invalid_arg "Doubling.run: net size must equal n";
+  if tau < 1 then invalid_arg "Doubling.run: tau < 1";
+  if walks_per_node < 1 then invalid_arg "Doubling.run: walks_per_node < 1";
+  let tau_pow = next_pow2 tau in
+  let k_init = walks_per_node * tau_pow in
+  (* walks.(v) is vertex v's current sequence of walks. *)
+  let walks =
+    Array.init n (fun v ->
+        Array.init k_init (fun _ -> [| v; Walk.step g prng v |]))
+  in
+  let k = ref k_init in
+  let iterations = ref 0 in
+  let loads = ref [] in
+  while !k > walks_per_node do
+    incr iterations;
+    let kk = !k in
+    let half = kk / 2 in
+    (* Step 1: machine 0 broadcasts the O(log^2 n)-bit hash seed. *)
+    let log_n = max 1 (int_of_float (Float.ceil (Float.log2 (Float.of_int n)))) in
+    let route =
+      match scheme with
+      | Load_balanced { independence } ->
+          Net.broadcast net ~label:"doubling seed" ~src:0
+            ~words:(Net.words_for_bits net (independence * 31));
+          let h =
+            Kwise_hash.create prng ~independence ~domain:(n * (k_init + 1))
+              ~range:n
+          in
+          fun vertex idx -> Kwise_hash.apply2 h ~encode_bound:(k_init + 1) vertex idx
+      | Unbalanced -> fun vertex _idx -> vertex
+    in
+    ignore log_n;
+    (* Steps 2-3: placement. first_half.(w) collects (origin, i, walk) whose
+       continuation key hashes to machine w; second_half.(w) collects
+       (owner, j, walk). *)
+    let first_half = Array.make n [] in
+    let second_half = Array.make n [] in
+    let packets = ref [] in
+    let eta_words = Array.length walks.(0).(0) + 1 in
+    let tuples_received = Array.make n 0 in
+    for v = 0 to n - 1 do
+      for i = 0 to half - 1 do
+        let w = walks.(v).(i) in
+        let partner = i + half in
+        let dest = route w.(Array.length w - 1) partner in
+        first_half.(dest) <- (v, i, w) :: first_half.(dest);
+        packets := { Net.src = v; dst = dest; words = eta_words } :: !packets;
+        if dest <> v then tuples_received.(dest) <- tuples_received.(dest) + 1
+      done;
+      for j = half to kk - 1 do
+        let w = walks.(v).(j) in
+        let dest = route v j in
+        second_half.(dest) <- (v, j, w) :: second_half.(dest);
+        packets := { Net.src = v; dst = dest; words = eta_words } :: !packets;
+        if dest <> v then tuples_received.(dest) <- tuples_received.(dest) + 1
+      done
+    done;
+    Net.exchange net ~label:"doubling place" !packets;
+    loads := Array.fold_left max 0 tuples_received :: !loads;
+    (* Step 4: merge and return. Index continuations by (owner, j). *)
+    let continuations = Hashtbl.create (n * half) in
+    Array.iter
+      (List.iter (fun (owner, j, w) -> Hashtbl.replace continuations (owner, j) w))
+      second_half;
+    let merged = Array.init n (fun _ -> Array.make half [||]) in
+    let return_packets = ref [] in
+    Array.iteri
+      (fun dest bucket ->
+        List.iter
+          (fun (origin, i, w) ->
+            let endv = w.(Array.length w - 1) in
+            let partner = i + half in
+            match Hashtbl.find_opt continuations (endv, partner) with
+            | None ->
+                (* The continuation lives at the same hash machine by
+                   construction; its absence is a programming error. *)
+                assert false
+            | Some cont ->
+                merged.(origin).(i) <- stitch w cont;
+                return_packets :=
+                  { Net.src = dest; dst = origin; words = (2 * eta_words) - 1 }
+                  :: !return_packets)
+          bucket)
+      first_half;
+    Net.exchange net ~label:"doubling return" !return_packets;
+    (* Step 5. *)
+    Array.iteri (fun v m -> walks.(v) <- m) merged;
+    k := half
+  done;
+  (walks, !iterations, Array.of_list (List.rev !loads), tau_pow)
+
+let run net prng g ~tau ~scheme =
+  let before = Net.rounds net in
+  let walks, iterations, loads, tau_pow =
+    run_multi net prng g ~tau ~walks_per_node:1 ~scheme
+  in
+  ignore tau_pow;
+  {
+    walks = Array.map (fun ws -> ws.(0)) walks;
+    iterations;
+    max_tuples_received = loads;
+    rounds = Net.rounds net -. before;
+  }
+
+let sample_tree net prng g ~tau0 =
+  if tau0 < 1 then invalid_arg "Doubling.sample_tree: tau0 < 1";
+  let n = Graph.n g in
+  let scheme = default_scheme ~n in
+  (* Build the walk by stitching independent doubling runs; never resample a
+     prefix, so the overall walk is an exact random walk and Aldous-Broder
+     applies without conditioning bias. *)
+  let visited = Array.make n false in
+  visited.(0) <- true;
+  let remaining = ref (n - 1) in
+  let tree_edges = ref [] in
+  let consume walk =
+    Array.iteri
+      (fun idx v ->
+        if idx > 0 && not visited.(v) then begin
+          visited.(v) <- true;
+          decr remaining;
+          tree_edges := (walk.(idx - 1), v) :: !tree_edges
+        end)
+      walk
+  in
+  let current_end = ref 0 in
+  let tau = ref tau0 and total = ref 0 in
+  while !remaining > 0 do
+    let r = run net prng g ~tau:!tau ~scheme in
+    let segment = r.walks.(!current_end) in
+    consume segment;
+    current_end := segment.(Array.length segment - 1);
+    total := !total + Array.length segment - 1;
+    tau := 2 * !tau
+  done;
+  (Tree.of_edges ~n !tree_edges, !total)
+
+let pagerank net prng g ~walks_per_node ~epsilon =
+  if epsilon <= 0.0 || epsilon >= 1.0 then
+    invalid_arg "Doubling.pagerank: epsilon out of range";
+  let n = Graph.n g in
+  let scheme = default_scheme ~n in
+  (* Walk length such that a Geometric(epsilon) stop exceeds it with
+     probability <= 1/n^3. *)
+  let len =
+    max 1
+      (int_of_float
+         (Float.ceil (3.0 *. Float.log (Float.of_int n) /. epsilon)))
+  in
+  let walks, _, _, _ =
+    run_multi net prng g ~tau:len ~walks_per_node ~scheme
+  in
+  let counts = Array.make n 0 in
+  Array.iter
+    (fun per_vertex ->
+      Array.iter
+        (fun w ->
+          (* Geometric(epsilon) number of steps before restart, capped. *)
+          let rec stop t =
+            if t >= Array.length w - 1 then t
+            else if Prng.float prng 1.0 < epsilon then t
+            else stop (t + 1)
+          in
+          let t = stop 0 in
+          counts.(w.(t)) <- counts.(w.(t)) + 1)
+        per_vertex)
+    walks;
+  let total = Array.fold_left ( + ) 0 counts in
+  Array.map (fun c -> Float.of_int c /. Float.of_int total) counts
+
+let pagerank_exact g ~epsilon =
+  let n = Graph.n g in
+  let p = Graph.transition_matrix g in
+  let pi = ref (Array.make n (1.0 /. Float.of_int n)) in
+  let jump = epsilon /. Float.of_int n in
+  let rec iterate remaining =
+    if remaining = 0 then ()
+    else begin
+      let stepped = Mat.vec_mul !pi p in
+      let next = Array.map (fun x -> jump +. ((1.0 -. epsilon) *. x)) stepped in
+      let diff =
+        Array.fold_left Float.max 0.0
+          (Array.mapi (fun i x -> Float.abs (x -. !pi.(i))) next)
+      in
+      pi := next;
+      if diff > 1e-14 then iterate (remaining - 1)
+    end
+  in
+  iterate 100_000;
+  !pi

@@ -1,0 +1,86 @@
+(** The load-balanced Doubling random-walk algorithm (Section 4).
+
+    Every vertex v ends up holding a length-tau random walk originating at v,
+    built in O(log tau) merging iterations: starting from k length-1 walks
+    per vertex, each iteration matches walks of the first half of each
+    vertex's index range with the continuation walks [W_v^{k-i}] and stitches
+    them, halving k while doubling the length.
+
+    Two placement schemes:
+    - [Load_balanced]: the paper's contribution — tuples are routed through
+      an [8c log n]-wise independent hash [h : [n] x [k] -> [n]]
+      (Kwise_hash), so by Lemma 4 no machine receives more than
+      [16 c k log n] tuples w.h.p., and each iteration completes in
+      [O(max(k eta / n * log n, 1))] rounds.
+    - [Unbalanced]: the original Bahmani–Chakrabarti–Xin placement, in which
+      walks are sent directly to the vertex they end at — exhibits the
+      Omega(n)-round hot spot (e.g. a star center) the paper fixes.
+
+    All communication is metered through the {!Cc_clique.Net} ledger; the
+    per-iteration receiver loads are also returned so bench E2 can compare
+    them against the Lemma 4 bound.
+
+    As in the paper, walks originating at different vertices share randomness
+    (they are individually — not jointly — true random walks). *)
+
+type scheme =
+  | Load_balanced of { independence : int }
+      (** hash-family independence; the paper uses [8c log n]. *)
+  | Unbalanced
+
+type result = {
+  walks : int array array;
+      (** [walks.(v)] = the length-tau walk from v: tau+1 vertices. *)
+  iterations : int;
+  max_tuples_received : int array;
+      (** per iteration, the largest number of tuples any machine received in
+          the placement steps (2-3) — the Lemma 4 observable. *)
+  rounds : float;  (** total rounds booked on the net by this run. *)
+}
+
+(** [run net prng g ~tau ~scheme] builds length-tau walks for every vertex.
+    [Net.n net] must equal the vertex count. *)
+val run :
+  Cc_clique.Net.t ->
+  Cc_util.Prng.t ->
+  Cc_graph.Graph.t ->
+  tau:int ->
+  scheme:scheme ->
+  result
+
+(** [default_scheme ~n] is [Load_balanced] with the paper's [8c log n]
+    independence at c = 1. *)
+val default_scheme : n:int -> scheme
+
+(** [lemma4_bound ~n ~k ~c] = [16 c k log2 n], the w.h.p. receiver-load bound
+    of Lemma 4. *)
+val lemma4_bound : n:int -> k:int -> c:float -> float
+
+(** [sample_tree net prng g ~tau0] samples a uniform spanning tree via
+    Corollary 1: build a length-tau walk by doubling and apply Aldous–Broder
+    first-visit edges; if the walk does not cover the graph, double tau and
+    retry (fresh randomness), starting from [tau0]. Returns the tree and the
+    final tau used. *)
+val sample_tree :
+  Cc_clique.Net.t ->
+  Cc_util.Prng.t ->
+  Cc_graph.Graph.t ->
+  tau0:int ->
+  Cc_graph.Tree.t * int
+
+(** [pagerank net prng g ~walks_per_node ~epsilon] estimates the PageRank
+    vector with restart probability [epsilon] from the endpoints of
+    geometrically-stopped walks (the Section 1.1 / BCX application): builds
+    length-[O(log n / epsilon)] walks by doubling and histograms the
+    geometric-time positions. Returns the normalized estimate. *)
+val pagerank :
+  Cc_clique.Net.t ->
+  Cc_util.Prng.t ->
+  Cc_graph.Graph.t ->
+  walks_per_node:int ->
+  epsilon:float ->
+  float array
+
+(** [pagerank_exact g ~epsilon] is the reference PageRank by power iteration
+    to fixed point (used by bench E10). *)
+val pagerank_exact : Cc_graph.Graph.t -> epsilon:float -> float array

@@ -1,0 +1,261 @@
+module Prng = Cc_util.Prng
+
+let path n =
+  if n < 2 then invalid_arg "Gen.path: n < 2";
+  Graph.of_unweighted_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: n < 3";
+  Graph.of_unweighted_edges ~n
+    (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete n =
+  if n < 2 then invalid_arg "Gen.complete: n < 2";
+  let edge_list = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edge_list := (u, v) :: !edge_list
+    done
+  done;
+  Graph.of_unweighted_edges ~n !edge_list
+
+let star n =
+  if n < 2 then invalid_arg "Gen.star: n < 2";
+  Graph.of_unweighted_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 || rows * cols < 2 then invalid_arg "Gen.grid";
+  let id r c = (r * cols) + c in
+  let edge_list = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edge_list := (id r c, id r (c + 1)) :: !edge_list;
+      if r + 1 < rows then edge_list := (id r c, id (r + 1) c) :: !edge_list
+    done
+  done;
+  Graph.of_unweighted_edges ~n:(rows * cols) !edge_list
+
+let binary_tree n =
+  if n < 2 then invalid_arg "Gen.binary_tree: n < 2";
+  Graph.of_unweighted_edges ~n
+    (List.init (n - 1) (fun i -> (((i + 1) - 1) / 2, i + 1)))
+
+let lollipop ~clique ~tail =
+  if clique < 2 || tail < 1 then invalid_arg "Gen.lollipop";
+  let n = clique + tail in
+  let edge_list = ref [] in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      edge_list := (u, v) :: !edge_list
+    done
+  done;
+  (* Attach the tail path to clique vertex 0. *)
+  edge_list := (0, clique) :: !edge_list;
+  for i = clique to n - 2 do
+    edge_list := (i, i + 1) :: !edge_list
+  done;
+  Graph.of_unweighted_edges ~n !edge_list
+
+let barbell k =
+  if k < 2 then invalid_arg "Gen.barbell";
+  let n = 2 * k in
+  let edge_list = ref [] in
+  let add_clique offset =
+    for u = 0 to k - 1 do
+      for v = u + 1 to k - 1 do
+        edge_list := (offset + u, offset + v) :: !edge_list
+      done
+    done
+  in
+  add_clique 0;
+  add_clique k;
+  edge_list := (k - 1, k) :: !edge_list;
+  Graph.of_unweighted_edges ~n !edge_list
+
+let erdos_renyi prng ~n ~p =
+  if n < 2 then invalid_arg "Gen.erdos_renyi: n < 2";
+  if p < 0.0 || p > 1.0 then invalid_arg "Gen.erdos_renyi: p out of range";
+  let edge_list = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.float prng 1.0 < p then edge_list := (u, v) :: !edge_list
+    done
+  done;
+  Graph.of_unweighted_edges ~n !edge_list
+
+let erdos_renyi_connected prng ~n ~p =
+  let rec go attempts =
+    if attempts = 0 then
+      failwith "Gen.erdos_renyi_connected: too many disconnected samples";
+    let g = erdos_renyi prng ~n ~p in
+    if Graph.num_edges g > 0 && Graph.is_connected g then g else go (attempts - 1)
+  in
+  go 1000
+
+let random_regular prng ~n ~d =
+  if d < 1 || d >= n then invalid_arg "Gen.random_regular: bad degree";
+  if n * d land 1 = 1 then invalid_arg "Gen.random_regular: n*d must be even";
+  (* Pairing model with swap repair: a uniform stub matching is simple only
+     with probability ~ exp(-(d^2-1)/4), so instead of rejecting whole
+     matchings we fix loops/multi-edges by random double-edge swaps (the
+     standard practical generator; the result is approximately uniform,
+     which is all the expander workloads need). Restart on the rare repair
+     dead-end, and resample until connected. *)
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  let rec attempt tries =
+    if tries = 0 then failwith "Gen.random_regular: attempt limit reached";
+    Prng.shuffle prng stubs;
+    let m = n * d / 2 in
+    let edges = Array.init m (fun i ->
+        let u = stubs.(2 * i) and v = stubs.(2 * i + 1) in
+        if u < v then (u, v) else (v, u))
+    in
+    let seen = Hashtbl.create (2 * m) in
+    let count (u, v) = Option.value ~default:0 (Hashtbl.find_opt seen (u, v)) in
+    let add e = Hashtbl.replace seen e (count e + 1) in
+    let remove e =
+      let c = count e in
+      if c <= 1 then Hashtbl.remove seen e else Hashtbl.replace seen e (c - 1)
+    in
+    Array.iter add edges;
+    let bad (u, v) = u = v || count (u, v) > 1 in
+    let fuel = ref (200 * m) in
+    let ok = ref true in
+    let rec repair () =
+      let bad_idx = ref (-1) in
+      Array.iteri (fun i e -> if !bad_idx < 0 && bad e then bad_idx := i) edges;
+      if !bad_idx >= 0 then begin
+        decr fuel;
+        if !fuel <= 0 then ok := false
+        else begin
+          let i = !bad_idx in
+          let j = Prng.int prng m in
+          if j <> i then begin
+            let u, v = edges.(i) and x, y = edges.(j) in
+            (* Swap to (u,x), (v,y), flipping the partner orientation at
+               random for symmetry. *)
+            let x, y = if Prng.bool prng then (x, y) else (y, x) in
+            let e1 = if u < x then (u, x) else (x, u) in
+            let e2 = if v < y then (v, y) else (y, v) in
+            if u <> x && v <> y && count e1 = 0 && count e2 = 0 then begin
+              remove edges.(i);
+              remove edges.(j);
+              edges.(i) <- e1;
+              edges.(j) <- e2;
+              add e1;
+              add e2
+            end
+          end;
+          repair ()
+        end
+      end
+    in
+    repair ();
+    if not !ok then attempt (tries - 1)
+    else
+      let g = Graph.of_unweighted_edges ~n (Array.to_list edges) in
+      if Graph.is_connected g then g else attempt (tries - 1)
+  in
+  attempt 100
+
+let random_connected prng ~n ~extra_edges =
+  if n < 2 then invalid_arg "Gen.random_connected: n < 2";
+  (* Random recursive tree skeleton, then chords. *)
+  let seen = Hashtbl.create (n + extra_edges) in
+  let edge_list = ref [] in
+  let add u v =
+    let u, v = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      edge_list := (u, v) :: !edge_list;
+      true
+    end
+    else false
+  in
+  for v = 1 to n - 1 do
+    ignore (add (Prng.int prng v) v)
+  done;
+  let budget = ref extra_edges and fuel = ref (20 * (extra_edges + 1)) in
+  while !budget > 0 && !fuel > 0 do
+    decr fuel;
+    if add (Prng.int prng n) (Prng.int prng n) then decr budget
+  done;
+  Graph.of_unweighted_edges ~n !edge_list
+
+let random_weights prng g ~max_weight =
+  if max_weight < 1 then invalid_arg "Gen.random_weights";
+  Graph.of_edges ~n:(Graph.n g)
+    (List.map
+       (fun (u, v, _) -> (u, v, Float.of_int (1 + Prng.int prng max_weight)))
+       (Graph.edges g))
+
+let figure2 () =
+  (* A=0, B=1, C=2, D=3; S = {A, B, D}; C is the hub every walk passes
+     through, so Shortcut(G,S) sends every vertex to C with probability 1 and
+     Schur(G,S) is uniform on the other two S-vertices. *)
+  Graph.of_unweighted_edges ~n:4 [ (0, 2); (1, 2); (3, 2) ]
+
+type family =
+  | Path
+  | Cycle
+  | Complete
+  | Star
+  | Grid
+  | Binary_tree
+  | Lollipop
+  | Barbell
+  | Erdos_renyi of float
+  | Er_log of float
+  | Regular of int
+
+let family_of_string s =
+  match String.lowercase_ascii s with
+  | "path" -> Path
+  | "cycle" -> Cycle
+  | "complete" | "clique" -> Complete
+  | "star" -> Star
+  | "grid" -> Grid
+  | "btree" | "binary_tree" -> Binary_tree
+  | "lollipop" -> Lollipop
+  | "barbell" -> Barbell
+  | s -> (
+      match String.split_on_char ':' s with
+      | [ "er"; p ] -> Erdos_renyi (float_of_string p)
+      | [ "erlog"; c ] -> Er_log (float_of_string c)
+      | [ "regular"; d ] -> Regular (int_of_string d)
+      | _ -> invalid_arg ("Gen.family_of_string: unknown family " ^ s))
+
+let family_to_string = function
+  | Path -> "path"
+  | Cycle -> "cycle"
+  | Complete -> "complete"
+  | Star -> "star"
+  | Grid -> "grid"
+  | Binary_tree -> "btree"
+  | Lollipop -> "lollipop"
+  | Barbell -> "barbell"
+  | Erdos_renyi p -> Printf.sprintf "er:%g" p
+  | Er_log c -> Printf.sprintf "erlog:%g" c
+  | Regular d -> Printf.sprintf "regular:%d" d
+
+let build prng family ~n =
+  match family with
+  | Path -> path n
+  | Cycle -> cycle n
+  | Complete -> complete n
+  | Star -> star n
+  | Grid ->
+      let side = max 2 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+      grid ~rows:side ~cols:side
+  | Binary_tree -> binary_tree n
+  | Lollipop ->
+      let clique = max 2 (n / 2) in
+      lollipop ~clique ~tail:(max 1 (n - clique))
+  | Barbell -> barbell (max 2 (n / 2))
+  | Erdos_renyi p -> erdos_renyi_connected prng ~n ~p
+  | Er_log c ->
+      let p = Float.min 1.0 (c *. Float.log (float_of_int n) /. float_of_int n) in
+      erdos_renyi_connected prng ~n ~p
+  | Regular d ->
+      let n = if n * d land 1 = 1 then n + 1 else n in
+      random_regular prng ~n ~d

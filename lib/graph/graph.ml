@@ -1,0 +1,191 @@
+type t = {
+  n : int;
+  adj : (int * float) array array;
+  edges : (int * int * float) list; (* u < v, each edge once *)
+}
+
+let of_edges ~n edge_list =
+  if n <= 0 then invalid_arg "Graph.of_edges: n <= 0";
+  let seen = Hashtbl.create (List.length edge_list) in
+  let canonical =
+    List.map
+      (fun (u, v, w) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Graph.of_edges: endpoint out of range";
+        if u = v then invalid_arg "Graph.of_edges: self-loop";
+        if w <= 0.0 || not (Float.is_finite w) then
+          invalid_arg "Graph.of_edges: weight must be positive and finite";
+        let u, v = if u < v then (u, v) else (v, u) in
+        if Hashtbl.mem seen (u, v) then
+          invalid_arg "Graph.of_edges: duplicate edge";
+        Hashtbl.add seen (u, v) ();
+        (u, v, w))
+      edge_list
+  in
+  let buckets = Array.make n [] in
+  List.iter
+    (fun (u, v, w) ->
+      buckets.(u) <- (v, w) :: buckets.(u);
+      buckets.(v) <- (u, w) :: buckets.(v))
+    canonical;
+  let adj =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort compare a;
+        a)
+      buckets
+  in
+  { n; adj; edges = List.sort compare canonical }
+
+let of_unweighted_edges ~n edge_list =
+  of_edges ~n (List.map (fun (u, v) -> (u, v, 1.0)) edge_list)
+
+let of_adjacency_matrix a =
+  let n = Cc_linalg.Mat.rows a in
+  if Cc_linalg.Mat.cols a <> n then invalid_arg "Graph.of_adjacency_matrix: not square";
+  if not (Cc_linalg.Mat.is_symmetric a) then
+    invalid_arg "Graph.of_adjacency_matrix: not symmetric";
+  let edge_list = ref [] in
+  for u = 0 to n - 1 do
+    if Cc_linalg.Mat.get a u u <> 0.0 then
+      invalid_arg "Graph.of_adjacency_matrix: nonzero diagonal";
+    for v = u + 1 to n - 1 do
+      let w = Cc_linalg.Mat.get a u v in
+      if w < 0.0 then invalid_arg "Graph.of_adjacency_matrix: negative weight";
+      if w > 0.0 then edge_list := (u, v, w) :: !edge_list
+    done
+  done;
+  of_edges ~n !edge_list
+
+let n g = g.n
+let num_edges g = List.length g.edges
+let edges g = g.edges
+let neighbors g u = g.adj.(u)
+let degree g u = Array.length g.adj.(u)
+
+let weighted_degree g u =
+  Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 g.adj.(u)
+
+let edge_weight g u v =
+  let arr = g.adj.(u) in
+  let rec go i =
+    if i >= Array.length arr then 0.0
+    else
+      let x, w = arr.(i) in
+      if x = v then w else go (i + 1)
+  in
+  go 0
+
+let has_edge g u v = edge_weight g u v > 0.0
+
+let deg_in g u ~members =
+  Array.fold_left
+    (fun acc (v, _) -> if members.(v) then acc + 1 else acc)
+    0 g.adj.(u)
+
+let is_connected g =
+  let visited = Array.make g.n false in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  visited.(0) <- true;
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun (v, _) ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          incr count;
+          Queue.add v queue
+        end)
+      g.adj.(u)
+  done;
+  !count = g.n
+
+let total_weight g =
+  List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 g.edges
+
+let adjacency_matrix g =
+  let m = Cc_linalg.Mat.create ~rows:g.n ~cols:g.n 0.0 in
+  List.iter
+    (fun (u, v, w) ->
+      Cc_linalg.Mat.set m u v w;
+      Cc_linalg.Mat.set m v u w)
+    g.edges;
+  m
+
+let transition_matrix g =
+  Cc_linalg.Mat.init ~rows:g.n ~cols:g.n (fun u v ->
+      let d = weighted_degree g u in
+      if d = 0.0 then if u = v then 1.0 else 0.0
+      else edge_weight g u v /. d)
+
+let laplacian g =
+  Cc_linalg.Mat.init ~rows:g.n ~cols:g.n (fun u v ->
+      if u = v then weighted_degree g u else -.edge_weight g u v)
+
+let of_laplacian ?(tol = 1e-9) l =
+  let n = Cc_linalg.Mat.rows l in
+  let edge_list = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let w = -.Cc_linalg.Mat.get l u v in
+      if w > tol then edge_list := (u, v, w) :: !edge_list
+    done
+  done;
+  of_edges ~n !edge_list
+
+let effective_resistance g u v =
+  if u = v then invalid_arg "Graph.effective_resistance: identical vertices";
+  (* Ground at v: R_eff(u,v) = e_u^T (L with row/col v removed)^{-1} e_u. *)
+  let keep =
+    Array.of_list (List.filter (fun i -> i <> v) (List.init g.n (fun i -> i)))
+  in
+  let l = laplacian g in
+  let reduced = Cc_linalg.Mat.submatrix l ~row_idx:keep ~col_idx:keep in
+  let pos = Array.make g.n (-1) in
+  Array.iteri (fun i orig -> pos.(orig) <- i) keep;
+  let b = Array.make (Array.length keep) 0.0 in
+  b.(pos.(u)) <- 1.0;
+  let x = Cc_linalg.Solve.solve reduced b in
+  x.(pos.(u))
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" g.n);
+  List.iter
+    (fun (u, v, w) -> Buffer.add_string buf (Printf.sprintf "e %d %d %.17g\n" u v w))
+    g.edges;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> invalid_arg "Graph.of_string: empty input"
+  | first :: rest ->
+      let nv =
+        try Scanf.sscanf first "n %d" (fun n -> n)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          invalid_arg "Graph.of_string: expected 'n <count>' header"
+      in
+      let edge_list =
+        List.map
+          (fun line ->
+            try Scanf.sscanf line "e %d %d %f" (fun u v w -> (u, v, w))
+            with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+              try Scanf.sscanf line "e %d %d" (fun u v -> (u, v, 1.0))
+              with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+                invalid_arg "Graph.of_string: bad edge line"))
+          rest
+      in
+      of_edges ~n:nv edge_list
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph on %d vertices, %d edges@," g.n (num_edges g);
+  List.iter (fun (u, v, w) -> Format.fprintf fmt "  %d -- %d (%g)@," u v w) g.edges;
+  Format.fprintf fmt "@]"

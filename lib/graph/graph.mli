@@ -1,0 +1,90 @@
+(** Simple, undirected, weighted graphs.
+
+    The paper's input is an unweighted simple graph, but every later phase
+    works on the Schur complement — an edge-weighted graph — so the whole
+    stack is written for positive edge weights. Random walks transition along
+    incident edges with probability proportional to edge weight (footnote 2 of
+    the paper). Vertices are [0 .. n-1]. *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [of_edges ~n edges] builds a graph on [n] vertices from weighted edges
+    [(u, v, w)]. @raise Invalid_argument on self-loops, duplicate edges,
+    nonpositive weights, or out-of-range endpoints. *)
+val of_edges : n:int -> (int * int * float) list -> t
+
+(** [of_unweighted_edges ~n edges] gives every edge weight 1. *)
+val of_unweighted_edges : n:int -> (int * int) list -> t
+
+(** [of_adjacency_matrix a] interprets symmetric nonnegative [a] as edge
+    weights; zero means no edge. @raise Invalid_argument if not symmetric or
+    has nonzero diagonal. *)
+val of_adjacency_matrix : Cc_linalg.Mat.t -> t
+
+(** {1 Queries} *)
+
+val n : t -> int
+val num_edges : t -> int
+
+(** [edges g] lists each edge once as [(u, v, w)] with [u < v]. *)
+val edges : t -> (int * int * float) list
+
+(** [neighbors g u] is the array of [(v, w)] incident to [u]. *)
+val neighbors : t -> int -> (int * float) array
+
+(** [degree g u] is the number of incident edges. *)
+val degree : t -> int -> int
+
+(** [weighted_degree g u] is the total incident weight. *)
+val weighted_degree : t -> int -> float
+
+val has_edge : t -> int -> int -> bool
+
+(** [edge_weight g u v] is the weight, or 0 if absent. *)
+val edge_weight : t -> int -> int -> float
+
+(** [deg_in g u ~members] counts neighbors of [u] inside the vertex set given
+    by the [members] characteristic array — the paper's [deg_S(u)]
+    (unweighted count, as used by Algorithm 4 on the original graph G). *)
+val deg_in : t -> int -> members:bool array -> int
+
+(** [is_connected g] *)
+val is_connected : t -> bool
+
+(** [total_weight g] is the sum of edge weights. *)
+val total_weight : t -> float
+
+(** {1 Derived matrices} *)
+
+(** [transition_matrix g] is the random-walk matrix P with
+    [P(u,v) = w(u,v) / weighted_degree u]. Rows of isolated vertices are
+    self-loops. *)
+val transition_matrix : t -> Cc_linalg.Mat.t
+
+(** [adjacency_matrix g] *)
+val adjacency_matrix : t -> Cc_linalg.Mat.t
+
+(** [laplacian g] is L = D - A with weighted degrees. *)
+val laplacian : t -> Cc_linalg.Mat.t
+
+(** [of_laplacian l] reconstructs the weighted graph from a Laplacian
+    (off-diagonal entries are negated weights); entries with magnitude below
+    [tol] (default 1e-9) are treated as non-edges. *)
+val of_laplacian : ?tol:float -> Cc_linalg.Mat.t -> t
+
+(** {1 Electrical quantities} *)
+
+(** [effective_resistance g u v] between two distinct vertices of a connected
+    graph, via a Laplacian solve. *)
+val effective_resistance : t -> int -> int -> float
+
+(** {1 Serialization} *)
+
+(** [to_string g] / [of_string s]: a line-oriented format
+    ("n <n>" then "e <u> <v> <w>" lines) for the CLI. *)
+val to_string : t -> string
+
+val of_string : string -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,203 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols v =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: nonpositive dims";
+  { rows; cols; data = Array.make (rows * cols) v }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1.0 else 0.0)
+let copy m = { m with data = Array.copy m.data }
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Mat.get: index out of bounds";
+  m.data.((i * m.cols) + j)
+
+let set m i j v =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Mat.set: index out of bounds";
+  m.data.((i * m.cols) + j) <- v
+
+let of_arrays a =
+  let r = Array.length a in
+  if r = 0 then invalid_arg "Mat.of_arrays: empty";
+  let c = Array.length a.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> c then invalid_arg "Mat.of_arrays: ragged rows")
+    a;
+  init ~rows:r ~cols:c (fun i j -> a.(i).(j))
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.sub m.data (i * m.cols) m.cols)
+
+let row m i =
+  if i < 0 || i >= m.rows then invalid_arg "Mat.row";
+  Array.sub m.data (i * m.cols) m.cols
+
+let col m j =
+  if j < 0 || j >= m.cols then invalid_arg "Mat.col";
+  Array.init m.rows (fun i -> m.data.((i * m.cols) + j))
+
+let dims_must_match a b name =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let add a b =
+  dims_must_match a b "Mat.add";
+  { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
+
+let sub a b =
+  dims_must_match a b "Mat.sub";
+  { a with data = Array.mapi (fun k x -> x -. b.data.(k)) a.data }
+
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+
+let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> get m j i)
+
+(* i-k-j loop order: the inner loop walks both [b] and [out] row-contiguously. *)
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  let out = create ~rows:a.rows ~cols:b.cols 0.0 in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0.0 then
+        let brow = k * b.cols and orow = i * b.cols in
+        for j = 0 to b.cols - 1 do
+          out.data.(orow + j) <- out.data.(orow + j) +. (aik *. b.data.(brow + j))
+        done
+    done
+  done;
+  out
+
+let mul_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      let base = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + j) *. v.(j))
+      done;
+      !acc)
+
+let vec_mul v m =
+  if Array.length v <> m.rows then invalid_arg "Mat.vec_mul: dimension mismatch";
+  let out = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let vi = v.(i) in
+    if vi <> 0.0 then
+      let base = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        out.(j) <- out.(j) +. (vi *. m.data.(base + j))
+      done
+  done;
+  out
+
+let power m k =
+  if m.rows <> m.cols then invalid_arg "Mat.power: not square";
+  if k < 0 then invalid_arg "Mat.power: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      if k = 1 then acc else go acc (mul base base) (k lsr 1)
+  in
+  go (identity m.rows) m k
+
+let half_lazy m =
+  if m.rows <> m.cols then invalid_arg "Mat.half_lazy: not square";
+  init ~rows:m.rows ~cols:m.cols (fun i j ->
+      (0.5 *. get m i j) +. if i = j then 0.5 else 0.0)
+
+let power_table m ~max_exp =
+  if m.rows <> m.cols then invalid_arg "Mat.power_table: not square";
+  if max_exp < 0 then invalid_arg "Mat.power_table: negative exponent";
+  let table = Array.make (max_exp + 1) m in
+  for i = 1 to max_exp do
+    table.(i) <- mul table.(i - 1) table.(i - 1)
+  done;
+  table
+
+let submatrix m ~row_idx ~col_idx =
+  init ~rows:(Array.length row_idx) ~cols:(Array.length col_idx) (fun i j ->
+      get m row_idx.(i) col_idx.(j))
+
+let max_abs_diff a b =
+  dims_must_match a b "Mat.max_abs_diff";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k x -> acc := Float.max !acc (Float.abs (x -. b.data.(k))))
+    a.data;
+  !acc
+
+let equal ?(tol = 1e-12) a b =
+  a.rows = b.rows && a.cols = b.cols && max_abs_diff a b <= tol
+
+let max_subtractive_error ~exact ~approx =
+  dims_must_match exact approx "Mat.max_subtractive_error";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k x -> acc := Float.max !acc (x -. approx.data.(k)))
+    exact.data;
+  Float.max !acc 0.0
+
+let row_sums m =
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. m.data.((i * m.cols) + j)
+      done;
+      !acc)
+
+let is_row_stochastic ?(tol = 1e-9) m =
+  Array.for_all (fun x -> x >= -.tol) m.data
+  && Array.for_all (fun s -> Float.abs (s -. 1.0) <= tol) (row_sums m)
+
+let is_symmetric ?(tol = 1e-9) m =
+  m.rows = m.cols
+  &&
+  try
+    for i = 0 to m.rows - 1 do
+      for j = i + 1 to m.cols - 1 do
+        if Float.abs (get m i j -. get m j i) > tol then raise Exit
+      done
+    done;
+    true
+  with Exit -> false
+
+let normalize_rows m =
+  let out = copy m in
+  for i = 0 to m.rows - 1 do
+    let s = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      s := !s +. out.data.((i * m.cols) + j)
+    done;
+    if !s <> 0.0 then
+      for j = 0 to m.cols - 1 do
+        out.data.((i * m.cols) + j) <- out.data.((i * m.cols) + j) /. !s
+      done
+  done;
+  out
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%8.5f" (get m i j)
+    done;
+    Format.fprintf fmt "]@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,37 @@
+(** Linear solvers: LU decomposition, inversion, determinants.
+
+    Used for (i) the exact Schur complement
+    [M_SS - M_S,Sbar (M_Sbar,Sbar)^{-1} M_Sbar,S] (Section 2.2), (ii) the
+    Matrix–Tree theorem (determinant of a Laplacian minor counts spanning
+    trees), and (iii) exact absorbing-chain limits for the shortcut graph. *)
+
+type lu
+(** An LU factorization with partial pivoting. *)
+
+(** [lu m] factors a square matrix. @raise Failure if singular to working
+    precision. *)
+val lu : Mat.t -> lu
+
+(** [lu_solve f b] solves [m x = b]. *)
+val lu_solve : lu -> float array -> float array
+
+(** [solve m b] = [lu_solve (lu m) b]. *)
+val solve : Mat.t -> float array -> float array
+
+(** [solve_mat m b] solves [m X = B] column by column. *)
+val solve_mat : Mat.t -> Mat.t -> Mat.t
+
+(** [inverse m]. @raise Failure if singular. *)
+val inverse : Mat.t -> Mat.t
+
+(** [determinant m]; 0 for singular matrices. *)
+val determinant : Mat.t -> float
+
+(** [log_determinant m] returns [(sign, log |det|)]; robust for the large
+    spanning-tree counts of Matrix–Tree. [sign] is 0 for singular input. *)
+val log_determinant : Mat.t -> int * float
+
+(** [schur_complement m ~keep] is SCHUR(M, S) for S = [keep] (Section 2.2):
+    [M_SS - M_S,Sbar (M_Sbar,Sbar)^{-1} M_Sbar,S]. The result is indexed in
+    the order of [keep]. @raise Failure if [M_Sbar,Sbar] is singular. *)
+val schur_complement : Mat.t -> keep:int array -> Mat.t

@@ -1,0 +1,54 @@
+let check_square w =
+  let k = Array.length w in
+  if k = 0 then invalid_arg "Permanent: empty matrix";
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then invalid_arg "Permanent: not square")
+    w;
+  k
+
+(* Ryser's formula with Gray-code subset enumeration:
+   perm(A) = (-1)^k sum_{S subseteq [k]} (-1)^|S| prod_i sum_{j in S} a_ij. *)
+let ryser w =
+  let k = check_square w in
+  if k > 25 then invalid_arg "Permanent.ryser: matrix too large (k > 25)";
+  let row_acc = Array.make k 0.0 in
+  let total = ref 0.0 in
+  let popcount = ref 0 in
+  for g = 1 to (1 lsl k) - 1 do
+    (* Gray code of g differs from that of g-1 in exactly bit [ctz g]. *)
+    let bit = ref 0 in
+    let x = ref g in
+    while !x land 1 = 0 do
+      incr bit;
+      x := !x lsr 1
+    done;
+    let gray_prev = (g - 1) lxor ((g - 1) lsr 1) in
+    let added = gray_prev land (1 lsl !bit) = 0 in
+    let sign = if added then 1.0 else -1.0 in
+    for i = 0 to k - 1 do
+      row_acc.(i) <- row_acc.(i) +. (sign *. w.(i).(!bit))
+    done;
+    popcount := if added then !popcount + 1 else !popcount - 1;
+    let prod = Array.fold_left ( *. ) 1.0 row_acc in
+    let subset_sign = if (k - !popcount) land 1 = 0 then 1.0 else -1.0 in
+    total := !total +. (subset_sign *. prod)
+  done;
+  Float.max 0.0 !total
+
+let minor w ~skip_row ~skip_col =
+  let k = check_square w in
+  if k = 1 then invalid_arg "Permanent.minor: 1x1 matrix";
+  Array.init (k - 1) (fun i ->
+      let i' = if i >= skip_row then i + 1 else i in
+      Array.init (k - 1) (fun j ->
+          let j' = if j >= skip_col then j + 1 else j in
+          w.(i').(j')))
+
+let matching_weight w sigma =
+  let k = check_square w in
+  if Array.length sigma <> k then
+    invalid_arg "Permanent.matching_weight: bad assignment length";
+  let acc = ref 1.0 in
+  Array.iteri (fun j i -> acc := !acc *. w.(i).(j)) sigma;
+  !acc

@@ -1,0 +1,20 @@
+(** Permanents of nonnegative square matrices.
+
+    The weight of a perfect matching is the product of its edge weights and
+    the total weight of all matchings of a bipartite graph is the permanent
+    of its biadjacency matrix (Section 2.3). The paper invokes the JSV FPRAS
+    for the permanent; we provide an exact evaluator (Ryser's formula,
+    O(2^k k)) good to k ≈ 20, which is all the exact sampler and the
+    validation tests need. *)
+
+(** [ryser w] is the permanent of the square matrix [w] (given as rows).
+    @raise Invalid_argument if not square, empty, or k > 25. *)
+val ryser : float array array -> float
+
+(** [minor w ~skip_row ~skip_col] drops one row and one column — the
+    self-reduction step of the JVV sampling-to-counting reduction. *)
+val minor : float array array -> skip_row:int -> skip_col:int -> float array array
+
+(** [matching_weight w sigma] is the weight of the matching assigning
+    position [j] to instance [sigma.(j)]: [prod_j w.(sigma.(j)).(j)]. *)
+val matching_weight : float array array -> int array -> float

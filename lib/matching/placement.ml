@@ -1,0 +1,169 @@
+module Prng = Cc_util.Prng
+
+type t = {
+  identities : int array;
+  positions : (int * int) array;
+  weights : float array array;
+}
+
+exception Too_large
+
+let build ~identities ~positions ~weight =
+  let k = Array.length identities in
+  if k = 0 then invalid_arg "Placement.build: empty instance";
+  if Array.length positions <> k then
+    invalid_arg "Placement.build: instance/position count mismatch";
+  let weights =
+    Array.map
+      (fun v ->
+        Array.map
+          (fun (p, q) ->
+            let w = weight ~v ~p ~q in
+            if w < 0.0 || not (Float.is_finite w) then
+              invalid_arg "Placement.build: weights must be nonnegative";
+            w)
+          positions)
+      identities
+  in
+  { identities; positions; weights }
+
+(* Distinct position classes with counts and, per class, the member position
+   indexes. *)
+let position_classes t =
+  let table = Hashtbl.create 16 in
+  Array.iteri
+    (fun j pq ->
+      let members = try Hashtbl.find table pq with Not_found -> [] in
+      Hashtbl.replace table pq (j :: members))
+    t.positions;
+  Hashtbl.fold (fun pq members acc -> (pq, List.rev members) :: acc) table []
+  |> List.sort compare
+  |> Array.of_list
+
+let dp_states t =
+  Array.fold_left
+    (fun acc (_, members) -> acc * (List.length members + 1))
+    1 (position_classes t)
+
+(* log-sum-exp of a list that may contain neg_infinity. *)
+let log_sum_exp xs =
+  let m = List.fold_left Float.max neg_infinity xs in
+  if m = neg_infinity then neg_infinity
+  else
+    m
+    +. Float.log
+         (List.fold_left (fun acc x -> acc +. Float.exp (x -. m)) 0.0 xs)
+
+let sample_exact ?(max_states = 2_000_000) prng t =
+  let classes = position_classes t in
+  let tcount = Array.length classes in
+  let capacities = Array.map (fun (_, members) -> List.length members) classes in
+  let states = dp_states t in
+  if states > max_states then raise Too_large;
+  let k = Array.length t.identities in
+  (* Class weight a(v, class t): all positions in a class share a weight
+     column; take it from the first member. *)
+  let log_class_weight =
+    Array.init k (fun i ->
+        Array.init tcount (fun c ->
+            let _, members = classes.(c) in
+            let w = t.weights.(i).(List.hd members) in
+            if w = 0.0 then neg_infinity else Float.log w))
+  in
+  (* Process instances in identity order so memoization keys collapse for
+     equal-identity runs; order does not affect correctness. *)
+  let order = Array.init k (fun i -> i) in
+  Array.sort (fun a b -> compare t.identities.(a) t.identities.(b)) order;
+  (* Mixed-radix encoding of capacity vectors. *)
+  let radix = Array.make tcount 1 in
+  for c = 1 to tcount - 1 do
+    radix.(c) <- radix.(c - 1) * (capacities.(c - 1) + 1)
+  done;
+  let encode caps =
+    let acc = ref 0 in
+    Array.iteri (fun c v -> acc := !acc + (v * radix.(c))) caps;
+    !acc
+  in
+  let memo : (int, float) Hashtbl.t = Hashtbl.create 4096 in
+  (* The memo is keyed by (layer, capacity-vector); layers multiply the state
+     count, so cap the total table size to bound memory, falling back to the
+     MCMC sampler beyond it. *)
+  let budget = ref (min (10 * max_states) 1_000_000) in
+  (* logZ u caps: log total weight of completions placing instances
+     order.(u..) into remaining capacities. *)
+  let rec log_z u caps =
+    if u = k then 0.0 (* capacities sum to zero exactly when u = k *)
+    else begin
+      let key = (u * states) + encode caps in
+      match Hashtbl.find_opt memo key with
+      | Some z -> z
+      | None ->
+          decr budget;
+          if !budget <= 0 then raise Too_large;
+          let inst = order.(u) in
+          let options = ref [] in
+          for c = 0 to tcount - 1 do
+            if caps.(c) > 0 then begin
+              caps.(c) <- caps.(c) - 1;
+              options := (log_class_weight.(inst).(c) +. log_z (u + 1) caps) :: !options;
+              caps.(c) <- caps.(c) + 1
+            end
+          done;
+          let z = log_sum_exp !options in
+          Hashtbl.add memo key z;
+          z
+    end
+  in
+  let caps = Array.copy capacities in
+  let total = log_z 0 caps in
+  if total = neg_infinity then failwith "Placement.sample_exact: infeasible";
+  (* Forward sampling of a position class per instance. *)
+  let chosen_class = Array.make k (-1) in
+  for u = 0 to k - 1 do
+    let inst = order.(u) in
+    let logw = Array.make tcount neg_infinity in
+    for c = 0 to tcount - 1 do
+      if caps.(c) > 0 then begin
+        caps.(c) <- caps.(c) - 1;
+        logw.(c) <- log_class_weight.(inst).(c) +. log_z (u + 1) caps;
+        caps.(c) <- caps.(c) + 1
+      end
+    done;
+    let m = Array.fold_left Float.max neg_infinity logw in
+    let probs = Array.map (fun x -> if x = neg_infinity then 0.0 else Float.exp (x -. m)) logw in
+    let c = Cc_util.Dist.sample_weights probs prng in
+    chosen_class.(inst) <- c;
+    caps.(c) <- caps.(c) - 1
+  done;
+  (* Uniformly assign the instances of each class to its labeled positions. *)
+  let sigma = Array.make k (-1) in
+  Array.iteri
+    (fun c (_, members) ->
+      let insts =
+        Array.of_list
+          (List.filter (fun i -> chosen_class.(i) = c) (List.init k (fun i -> i)))
+      in
+      let member_arr = Array.of_list members in
+      Prng.shuffle prng member_arr;
+      Array.iteri (fun idx i -> sigma.(member_arr.(idx)) <- i) insts)
+    classes;
+  sigma
+
+let matching_weight t sigma = Permanent.matching_weight t.weights sigma
+
+let sample ?mcmc_steps ?init prng t =
+  match sample_exact prng t with
+  | sigma -> sigma
+  | exception Too_large ->
+      let k = Array.length t.identities in
+      let steps =
+        match mcmc_steps with
+        | Some s -> s
+        | None -> Sampler.default_mcmc_steps k
+      in
+      Sampler.mcmc ?init prng t.weights ~steps
+
+(* Re-raise Too_large as Invalid_argument at the documented boundary. *)
+let sample_exact ?max_states prng t =
+  try sample_exact ?max_states prng t
+  with Too_large -> invalid_arg "Placement.sample_exact: state space too large"

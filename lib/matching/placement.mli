@@ -1,0 +1,61 @@
+(** Midpoint-placement instances and a class-compressed exact sampler.
+
+    In the Midpoint Placement step (Section 3.1.3), the leader machine M
+    receives only a {e multiset} of midpoints and must place them into walk
+    positions identified by (start,end) pairs, sampling a perfect matching
+    with probability proportional to the product of edge weights
+    [P^(d/2)[p,v] * P^(d/2)[v,q]].
+
+    The crucial structure: the weight of edge (instance, position) depends
+    only on the instance's {e identity} v and the position's {e pair} (p,q).
+    Instances with equal identity are exchangeable, as are positions with
+    equal pair, so a matching is determined (up to a uniform relabeling) by
+    its {e contingency table} N(v, t) = how many class-v instances land on
+    class-t positions, and
+
+      P(N)  proportional to  prod_{v,t} a(v,t)^N(v,t) / N(v,t)!
+
+    subject to the row/column margins. [sample_exact] draws N by dynamic
+    programming over row classes (state = remaining column capacities) and
+    then assigns labeled instances/positions uniformly within classes. This
+    is {e exact} and handles instances with thousands of midpoints as long as
+    the class structure is small; when the DP state space exceeds the cap the
+    caller should fall back to the generic samplers in {!Sampler}. *)
+
+type t = {
+  identities : int array;  (** identity class of each instance *)
+  positions : (int * int) array;  (** (start,end) pair of each position *)
+  weights : float array array;
+      (** [weights.(i).(j)]: instance i at position j; derived from classes *)
+}
+
+(** [build ~identities ~positions ~weight] constructs the dense instance;
+    lengths must agree; weights must be nonnegative (zeros mark unreachable
+    identity/position combinations). *)
+val build :
+  identities:int array ->
+  positions:(int * int) array ->
+  weight:(v:int -> p:int -> q:int -> float) ->
+  t
+
+(** [dp_states t] is the size of the DP state space
+    (product over position classes of (count + 1)) — the feasibility
+    predictor for [sample_exact]. *)
+val dp_states : t -> int
+
+(** [sample_exact prng t] draws a matching sigma (position j -> instance
+    sigma.(j)) exactly proportional to weight, via the contingency-table DP.
+    @raise Invalid_argument if [dp_states t] exceeds [max_states]
+    (default 2_000_000). *)
+val sample_exact : ?max_states:int -> Cc_util.Prng.t -> t -> int array
+
+(** [sample ?mcmc_steps ?init prng t] uses [sample_exact] when feasible,
+    otherwise {!Sampler.mcmc} on the dense weights, started from [init]
+    (which must be a positive-weight matching when given — callers with a
+    witness assignment should pass it so the chain starts feasible even when
+    the support is sparse). *)
+val sample :
+  ?mcmc_steps:int -> ?init:int array -> Cc_util.Prng.t -> t -> int array
+
+(** [matching_weight t sigma] is the product weight of an assignment. *)
+val matching_weight : t -> int array -> float

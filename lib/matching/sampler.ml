@@ -1,0 +1,123 @@
+module Prng = Cc_util.Prng
+module Dist = Cc_util.Dist
+
+type method_ = Exact | Mcmc of { steps : int } | Auto
+
+let check_nonnegative w =
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun x ->
+          if x < 0.0 || not (Float.is_finite x) then
+            invalid_arg "Matching.Sampler: weights must be nonnegative")
+        row)
+    w
+
+(* JVV self-reduction: fix positions left to right; the conditional
+   probability that position j receives remaining instance i is
+   w[i][j] * perm(rest without i) / perm(rest). *)
+let exact prng w =
+  let k = Array.length w in
+  if k > 15 then invalid_arg "Matching.Sampler.exact: k > 15";
+  check_nonnegative w;
+  let sigma = Array.make k (-1) in
+  let current = ref w in
+  (* remaining.(r) is the original instance index of row r of [current]. *)
+  let remaining = ref (Array.init k (fun i -> i)) in
+  for j = 0 to k - 1 do
+    let rows = Array.length !current in
+    let weights =
+      Array.init rows (fun r ->
+          if rows = 1 then (!current).(r).(0)
+          else
+            (!current).(r).(0)
+            *. Permanent.ryser (Permanent.minor !current ~skip_row:r ~skip_col:0))
+    in
+    let r = Dist.sample_weights weights prng in
+    sigma.(j) <- !remaining.(r);
+    if rows > 1 then begin
+      current := Permanent.minor !current ~skip_row:r ~skip_col:0;
+      remaining :=
+        Array.of_list
+          (List.filteri (fun i _ -> i <> r) (Array.to_list !remaining))
+    end
+  done;
+  sigma
+
+let mcmc ?init prng w ~steps =
+  let k = Array.length w in
+  check_nonnegative w;
+  if steps < 0 then invalid_arg "Matching.Sampler.mcmc: negative steps";
+  let sigma =
+    match init with
+    | None -> Prng.permutation prng k
+    | Some s ->
+        if Array.length s <> k then
+          invalid_arg "Matching.Sampler.mcmc: bad init length";
+        Array.copy s
+  in
+  (* Feasibility is checked entrywise: the full product of k small
+     probabilities underflows to 0.0 for large k even when every factor is
+     positive. *)
+  Array.iteri
+    (fun j i ->
+      if w.(i).(j) <= 0.0 then
+        invalid_arg "Matching.Sampler.mcmc: initial assignment has zero weight")
+    sigma;
+  if k >= 2 then
+    for _ = 1 to steps do
+      let j1 = Prng.int prng k in
+      let j2 = Prng.int prng (k - 1) in
+      let j2 = if j2 >= j1 then j2 + 1 else j2 in
+      let i1 = sigma.(j1) and i2 = sigma.(j2) in
+      let before = w.(i1).(j1) *. w.(i2).(j2) in
+      let after = w.(i1).(j2) *. w.(i2).(j1) in
+      (* [before] > 0 since the current state is feasible; zero-weight
+         proposals are rejected, keeping the chain on feasible matchings. *)
+      if after > 0.0 && (after >= before || Prng.float prng (1.0) < after /. before)
+      then begin
+        sigma.(j1) <- i2;
+        sigma.(j2) <- i1
+      end
+    done;
+  sigma
+
+let default_mcmc_steps k =
+  if k < 2 then 0
+  else
+    let kf = Float.of_int k in
+    int_of_float (Float.ceil (40.0 *. kf *. kf *. Float.max 1.0 (Float.log kf)))
+
+let sample ?(method_ = Auto) prng w =
+  match method_ with
+  | Exact -> exact prng w
+  | Mcmc { steps } -> mcmc prng w ~steps
+  | Auto ->
+      let k = Array.length w in
+      if k <= 12 then exact prng w
+      else mcmc prng w ~steps:(default_mcmc_steps k)
+
+let exact_distribution w =
+  let k = Array.length w in
+  if k > 8 then invalid_arg "Matching.Sampler.exact_distribution: k > 8";
+  check_nonnegative w;
+  let assignments = ref [] in
+  let rec go prefix used =
+    if List.length prefix = k then
+      assignments := Array.of_list (List.rev prefix) :: !assignments
+    else
+      for i = 0 to k - 1 do
+        if not used.(i) then begin
+          used.(i) <- true;
+          go (i :: prefix) used;
+          used.(i) <- false
+        end
+      done
+  in
+  go [] (Array.make k false);
+  let all = List.rev !assignments in
+  let weights =
+    Array.of_list (List.map (fun sigma -> Permanent.matching_weight w sigma) all)
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  (all, Array.map (fun x -> x /. total) weights)

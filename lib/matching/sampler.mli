@@ -1,0 +1,49 @@
+(** Sampling perfect matchings of a weighted complete bipartite graph with
+    probability proportional to the product of edge weights.
+
+    This is the black box of Section 2.3 / the Midpoint Placement step: the
+    paper uses JSV's permanent FPRAS with the JVV reduction; here we provide
+
+    - [exact]: the JVV self-reducible sampler driven by exact (Ryser)
+      permanents — zero TV error, feasible to k ≈ 15. Ground truth.
+    - [mcmc]: a Metropolis transposition chain on assignments, stationary
+      distribution exactly proportional to matching weight (the practical
+      analogue of the JSV chain). TV error decays with [steps]; validated
+      against [exact] in the test suite.
+    - [sample]: a dispatching front end selecting [exact] for small instances
+      and [mcmc] above the cutoff.
+
+    A matching over [k] instances and [k] positions is an [int array] [sigma]
+    with [sigma.(j)] = the instance placed at position [j]. Weights are given
+    row-major: [w.(instance).(position)], nonnegative (the
+    placement graphs may be sparse: at fine levels most (identity, position)
+    weights are zero because the identity is not reachable in delta/2 steps
+    from the position's endpoints). *)
+
+type method_ = Exact | Mcmc of { steps : int } | Auto
+
+(** [exact prng w] draws a matching exactly proportional to weight. Zero
+    weights are allowed as long as some matching has positive weight.
+    @raise Invalid_argument if k > 15 or any weight is negative. *)
+val exact : Cc_util.Prng.t -> float array array -> int array
+
+(** [mcmc ?init prng w ~steps] runs the transposition Metropolis chain for
+    [steps] proposals. Weights may contain zeros: zero-weight proposals are
+    rejected, so the chain stays on feasible matchings; [init] (default: a
+    uniform random permutation) must itself have positive weight. *)
+val mcmc :
+  ?init:int array -> Cc_util.Prng.t -> float array array -> steps:int -> int array
+
+(** [default_mcmc_steps k] is the step budget [sample] uses at size [k]
+    (c·k^2·log k with a generous constant). *)
+val default_mcmc_steps : int -> int
+
+(** [sample ?method_ prng w] dispatches ([Auto]: exact for k <= 12, MCMC
+    otherwise). *)
+val sample : ?method_:method_ -> Cc_util.Prng.t -> float array array -> int array
+
+(** [exact_distribution w] enumerates all k! matchings of a small instance
+    and returns (list of assignments, their normalized probabilities) — used
+    by tests to measure the TV error of the samplers. @raise Invalid_argument
+    if k > 8. *)
+val exact_distribution : float array array -> int array list * float array

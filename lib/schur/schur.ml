@@ -1,0 +1,59 @@
+module Graph = Cc_graph.Graph
+module Mat = Cc_linalg.Mat
+module Solve = Cc_linalg.Solve
+module Net = Cc_clique.Net
+module Matmul = Cc_clique.Matmul
+
+let members ~n ~s =
+  let in_s = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Schur.members: vertex out of range";
+      if in_s.(v) then invalid_arg "Schur.members: duplicate vertex";
+      in_s.(v) <- true)
+    s;
+  in_s
+
+let graph_exact g ~s =
+  if Array.length s = 0 then invalid_arg "Schur.graph_exact: empty S";
+  ignore (members ~n:(Graph.n g) ~s);
+  let l = Graph.laplacian g in
+  let schur_l = Solve.schur_complement l ~keep:s in
+  (* The Schur complement of a Laplacian is a Laplacian (Fact 2.3.6 in Kyng);
+     clamp numeric dust so tiny positive off-diagonals do not create edges. *)
+  Graph.of_laplacian ~tol:1e-9 schur_l
+
+let transition_exact g ~s = Graph.transition_matrix (graph_exact g ~s)
+
+let transition_via_shortcut g q ~s =
+  let n = Graph.n g in
+  let in_s = members ~n ~s in
+  let k = Array.length s in
+  (* R[u,v] = w(u,v)/w_S(u) for edges u~v with v in S (Corollary 4,
+     generalized to weights; = 1/deg_S(u) when unweighted). *)
+  let r =
+    Mat.init ~rows:n ~cols:n (fun u v ->
+        let ws = Shortcut.s_weight g ~in_s u in
+        if ws = 0.0 then if u = v then 1.0 else 0.0
+        else if in_s.(v) then Graph.edge_weight g u v /. ws
+        else 0.0)
+  in
+  let m = Mat.mul q r in
+  Mat.init ~rows:k ~cols:k (fun i j ->
+      if i = j then 0.0
+      else
+        let u = s.(i) and v = s.(j) in
+        let diag = Mat.get m u u in
+        let denom = 1.0 -. diag in
+        if denom <= 0.0 then 0.0 else Mat.get m u v /. denom)
+
+let approx ?net ?bits g ~s ~k =
+  let in_s = members ~n:(Graph.n g) ~s in
+  let q = Shortcut.approx ?net ?bits g ~in_s ~k in
+  (match net with
+  | None -> ()
+  | Some (clique, backend) ->
+      (* One more n x n product (QR) plus a row-local normalization. *)
+      Net.charge clique ~label:"schur normalize"
+        (Matmul.mul_cost clique backend ~dim:(Graph.n g)));
+  transition_via_shortcut g q ~s

@@ -1,0 +1,56 @@
+(** The shortcut graph SHORTCUT(G, S) (Definition 2).
+
+    For a walk on G started at u, let j be the first time (> 0) the walk is
+    at a vertex of S; the shortcut transition matrix Q has
+    [Q[u,v] = Pr(x_{j-1} = v)] — the distribution of the vertex visited
+    {e just before} the first S-visit. It is the bridge between a walk on the
+    Schur complement and first-visit edges in G (Algorithm 4).
+
+    Two computations are provided, both n x n over the original vertex set:
+
+    - [exact]: absorbing-chain solve on the auxiliary graph G' of
+      Corollary 3 — transient part restricted to "not yet entered S", so
+      Q = (I - T)^{-1} B where T moves among V\S-avoiding steps and B absorbs.
+    - [approx]: the paper's route — k-th power of the 2n x 2n chain R of
+      Corollary 3 by repeated squaring, optionally truncating entries to
+      [bits] fractional bits after every squaring and charging matmul rounds
+      to a clique [net]. Subtractive error decays as the chain absorbs
+      (bench E7).
+
+    The paper states the first-visit machinery for unweighted G; the
+    implementation generalizes the [1/deg_S] factors to
+    [w(u,v)/w_S(u)] so footnote 1's bounded-integer-weight extension works
+    unchanged. *)
+
+(** [exact g ~in_s] returns Q; [in_s] is the characteristic vector of S.
+    @raise Invalid_argument if S is empty. *)
+val exact : Cc_graph.Graph.t -> in_s:bool array -> Cc_linalg.Mat.t
+
+(** [approx ?net ?bits g ~in_s ~k] approximates Q by the k-th power of the
+    auxiliary chain ([k] a power of two). With [net = (clique, backend)] each
+    squaring books [Matmul.mul_cost ~dim:2n] rounds under label
+    ["shortcut powering"]. *)
+val approx :
+  ?net:Cc_clique.Net.t * Cc_clique.Matmul.backend ->
+  ?bits:int ->
+  Cc_graph.Graph.t ->
+  in_s:bool array ->
+  k:int ->
+  Cc_linalg.Mat.t
+
+(** [s_weight g ~in_s u] is the total edge weight from [u] into S
+    (= deg_S(u) on unweighted graphs). *)
+val s_weight : Cc_graph.Graph.t -> in_s:bool array -> int -> float
+
+(** [first_visit_weights g q ~in_s ~prev ~target] is the unnormalized
+    Algorithm 4 distribution over the first-visit edge (u, target): for every
+    neighbor u of [target], weight [Q[prev, u] * w(u,target) / w_S(u)], which
+    reduces to the paper's [Q[prev, u] / deg_S(u)] on unweighted graphs;
+    returned as [(u, weight)] pairs. *)
+val first_visit_weights :
+  Cc_graph.Graph.t ->
+  Cc_linalg.Mat.t ->
+  in_s:bool array ->
+  prev:int ->
+  target:int ->
+  (int * float) array

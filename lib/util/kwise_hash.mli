@@ -1,0 +1,32 @@
+(** t-wise independent hash families.
+
+    Section 4 (step 1) of the paper requires a family of [8c log n]-wise
+    independent hash functions [h : [n] x [k] -> [n]] that can be sampled with
+    O(log^2 n) random bits and evaluated in polylog time. The standard
+    construction is a degree-(t-1) polynomial with uniform coefficients over a
+    prime field, reduced to the target range. *)
+
+type t
+
+(** The prime modulus of the field used by the construction (2^31 - 1). *)
+val field_prime : int
+
+(** [create prng ~independence ~domain ~range] samples a hash function from a
+    family that is [independence]-wise independent on inputs in
+    [0, domain) mapped to [0, range). Requires [domain < field_prime] and
+    [range <= domain] or not — range may be anything positive.
+    @raise Invalid_argument if the domain does not fit inside the field. *)
+val create : Prng.t -> independence:int -> domain:int -> range:int -> t
+
+(** [apply h x] evaluates the hash at [x] (0 <= x < domain). *)
+val apply : t -> int -> int
+
+(** [apply2 h ~encode_bound x y] evaluates the hash on the pair [(x, y)]
+    encoded as [x * encode_bound + y], matching the paper's
+    [h : [n] x [k] -> [n]] signature. *)
+val apply2 : t -> encode_bound:int -> int -> int -> int
+
+(** Number of random bits consumed to describe the function:
+    [independence * bits_per_coefficient]. Exposed so benches can report the
+    seed-length claim (O(t log N) bits). *)
+val description_bits : t -> int

@@ -1,0 +1,94 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      xs;
+    !acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let quantile q xs =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let summarize xs =
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min infinity xs;
+    max = Array.fold_left Float.max neg_infinity xs;
+    median = quantile 0.5 xs;
+  }
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.linear_fit: length mismatch";
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 in
+  for i = 0 to n - 1 do
+    sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    sxx := !sxx +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
+  done;
+  if !sxx = 0.0 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = !sxy /. !sxx in
+  (slope, my -. (slope *. mx))
+
+let fit_power xs ys =
+  Array.iter
+    (fun x -> if x <= 0.0 then invalid_arg "Stats.fit_power: nonpositive x")
+    xs;
+  Array.iter
+    (fun y -> if y <= 0.0 then invalid_arg "Stats.fit_power: nonpositive y")
+    ys;
+  let lx = Array.map Float.log xs and ly = Array.map Float.log ys in
+  let slope, intercept = linear_fit lx ly in
+  (slope, Float.exp intercept)
+
+let r_squared xs ys (slope, intercept) =
+  let my = mean ys in
+  let ss_res = ref 0.0 and ss_tot = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let pred = (slope *. x) +. intercept in
+      let res = ys.(i) -. pred and dev = ys.(i) -. my in
+      ss_res := !ss_res +. (res *. res);
+      ss_tot := !ss_tot +. (dev *. dev))
+    xs;
+  if !ss_tot = 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot)
+
+let binomial_confidence ~n ~p =
+  if n <= 0 then invalid_arg "Stats.binomial_confidence";
+  2.0 *. sqrt (p *. (1.0 -. p) /. float_of_int n)
+
+let tv_noise_floor ~samples ~support =
+  if samples <= 0 || support <= 0 then invalid_arg "Stats.tv_noise_floor";
+  sqrt (float_of_int support /. (2.0 *. Float.pi *. float_of_int samples))

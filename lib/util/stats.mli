@@ -1,0 +1,48 @@
+(** Summary statistics and regression helpers for the benchmark harness.
+
+    The paper's claims are asymptotic; the benches verify them by fitting
+    exponents over a ladder of problem sizes ([fit_power]) or checking that a
+    polylog-normalized series is flat. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+
+(** [quantile q xs] with [0 <= q <= 1]; linear interpolation between order
+    statistics. *)
+val quantile : float -> float array -> float
+
+(** [linear_fit xs ys] returns [(slope, intercept)] of the least-squares line.
+    @raise Invalid_argument on mismatched lengths or fewer than two points. *)
+val linear_fit : float array -> float array -> float * float
+
+(** [fit_power xs ys] fits [y = c * x^e] by regressing log y on log x and
+    returns [(e, c)]. All inputs must be positive. *)
+val fit_power : float array -> float array -> float * float
+
+(** [r_squared xs ys (slope, intercept)] is the coefficient of determination
+    of the fitted line. *)
+val r_squared : float array -> float array -> float * float -> float
+
+(** [binomial_confidence ~n ~p] is a ~2-sigma half-width for an empirical
+    frequency estimated from [n] samples of a Bernoulli(p): used to set
+    thresholds on empirical TV tests. *)
+val binomial_confidence : n:int -> p:float -> float
+
+(** [tv_noise_floor ~samples ~support] estimates the expected TV distance
+    between the empirical distribution of [samples] iid draws from a uniform
+    distribution on [support] outcomes and that distribution itself —
+    roughly [sqrt (support / (2 pi samples))] per the CLT. Used as the
+    baseline in E5. *)
+val tv_noise_floor : samples:int -> support:int -> float

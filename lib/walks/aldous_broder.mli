@@ -1,0 +1,16 @@
+(** The Aldous–Broder exact uniform spanning tree sampler.
+
+    Run a random walk from an arbitrary start until it covers the graph; the
+    first-visit edge of every non-start vertex forms a uniformly random
+    spanning tree (weighted graphs: probability proportional to the product
+    of edge weights). This is the paper's foundational primitive and the
+    sequential baseline of benches E3/E5. *)
+
+(** [sample g prng ~start] returns the tree and the number of walk steps
+    taken (the realized cover time). [g] must be connected. *)
+val sample :
+  Cc_graph.Graph.t -> Cc_util.Prng.t -> start:int -> Cc_graph.Tree.t * int
+
+(** [sample_tree g prng] is [sample] from vertex 0, discarding the step
+    count. *)
+val sample_tree : Cc_graph.Graph.t -> Cc_util.Prng.t -> Cc_graph.Tree.t

@@ -1,0 +1,48 @@
+module Graph = Cc_graph.Graph
+module Mat = Cc_linalg.Mat
+module Solve = Cc_linalg.Solve
+
+let to_target g v =
+  let n = Graph.n g in
+  if v < 0 || v >= n then invalid_arg "Hitting.to_target: bad vertex";
+  if not (Graph.is_connected g) then invalid_arg "Hitting.to_target: disconnected";
+  let p = Graph.transition_matrix g in
+  let keep = Array.of_list (List.filter (fun i -> i <> v) (List.init n (fun i -> i))) in
+  let system =
+    Mat.init ~rows:(n - 1) ~cols:(n - 1) (fun i j ->
+        (if i = j then 1.0 else 0.0) -. Mat.get p keep.(i) keep.(j))
+  in
+  let rhs = Array.make (n - 1) 1.0 in
+  let h = Solve.solve system rhs in
+  let out = Array.make n 0.0 in
+  Array.iteri (fun i orig -> out.(orig) <- h.(i)) keep;
+  out
+
+let matrix g =
+  let n = Graph.n g in
+  let out = Mat.create ~rows:n ~cols:n 0.0 in
+  for v = 0 to n - 1 do
+    let h = to_target g v in
+    for u = 0 to n - 1 do
+      Mat.set out u v h.(u)
+    done
+  done;
+  out
+
+let commute g u v =
+  let h1 = (to_target g v).(u) in
+  let h2 = (to_target g u).(v) in
+  h1 +. h2
+
+let mean_hitting_time g =
+  let n = Graph.n g in
+  let total = 2.0 *. Graph.total_weight g in
+  let pi = Array.init n (fun i -> Graph.weighted_degree g i /. total) in
+  let h = matrix g in
+  let acc = ref 0.0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      acc := !acc +. (pi.(u) *. pi.(v) *. Mat.get h u v)
+    done
+  done;
+  !acc

@@ -1,0 +1,116 @@
+(* Tests for Cc_apps: tree-union sparsifiers. *)
+
+module Graph = Cc_graph.Graph
+module Gen = Cc_graph.Gen
+module Tree = Cc_graph.Tree
+module Sparsifier = Cc_apps.Sparsifier
+module Prng = Cc_util.Prng
+
+let wilson g prng = Cc_walks.Wilson.sample_tree g prng
+
+let test_union_is_connected_subgraph () =
+  let prng = Prng.create ~seed:1 in
+  let g = Gen.complete 12 in
+  let h = Sparsifier.union prng wilson g ~trees:3 ~reweight:false in
+  Alcotest.(check int) "same vertex count" 12 (Graph.n h);
+  Alcotest.(check bool) "connected" true (Graph.is_connected h);
+  List.iter
+    (fun (u, v, _) ->
+      Alcotest.(check bool) "subgraph of g" true (Graph.has_edge g u v))
+    (Graph.edges h);
+  (* At most 3(n-1) edges; at least n-1. *)
+  Alcotest.(check bool) "edge count range" true
+    (Graph.num_edges h >= 11 && Graph.num_edges h <= 33)
+
+let test_single_tree_union_is_a_tree () =
+  let prng = Prng.create ~seed:2 in
+  let g = Gen.complete 8 in
+  let h = Sparsifier.union prng wilson g ~trees:1 ~reweight:false in
+  Alcotest.(check int) "n-1 edges" 7 (Graph.num_edges h)
+
+let test_reweighted_union_unbiased () =
+  (* E[L_H] = L_G for the reweighted estimator: average many unions and check
+     edge weights converge to the originals. *)
+  let prng = Prng.create ~seed:3 in
+  let g = Gen.complete 6 in
+  let trials = 400 in
+  let acc = Hashtbl.create 32 in
+  List.iter (fun (u, v, _) -> Hashtbl.add acc (u, v) 0.0) (Graph.edges g);
+  for _ = 1 to trials do
+    let h = Sparsifier.union prng wilson g ~trees:2 ~reweight:true in
+    List.iter
+      (fun (u, v, w) -> Hashtbl.replace acc (u, v) (w +. Hashtbl.find acc (u, v)))
+      (Graph.edges h)
+  done;
+  List.iter
+    (fun (u, v, w) ->
+      let mean = Hashtbl.find acc (u, v) /. float_of_int trials in
+      if Float.abs (mean -. w) > 0.25 then
+        Alcotest.failf "edge (%d,%d): mean weight %.3f far from %.3f" u v mean w)
+    (Graph.edges g)
+
+let test_quality_improves_with_more_trees () =
+  let prng = Prng.create ~seed:4 in
+  let g = Gen.complete 16 in
+  let spread t =
+    let h = Sparsifier.union prng wilson g ~trees:t ~reweight:true in
+    let q = Sparsifier.evaluate prng g h ~probes:200 in
+    q.Sparsifier.rayleigh_max -. q.Sparsifier.rayleigh_min
+  in
+  let s2 = spread 2 and s16 = spread 16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "spread shrinks: %.3f -> %.3f" s2 s16)
+    true (s16 < s2)
+
+let test_evaluate_self_is_exact () =
+  let prng = Prng.create ~seed:5 in
+  let g = Gen.grid ~rows:3 ~cols:4 in
+  let q = Sparsifier.evaluate prng g g ~probes:50 in
+  Alcotest.(check (float 1e-9)) "cut min" 1.0 q.Sparsifier.cut_ratio_min;
+  Alcotest.(check (float 1e-9)) "cut max" 1.0 q.Sparsifier.cut_ratio_max;
+  Alcotest.(check (float 1e-9)) "rayleigh min" 1.0 q.Sparsifier.rayleigh_min;
+  Alcotest.(check int) "edges kept" (Graph.num_edges g) q.Sparsifier.edges_kept
+
+let test_evaluate_rejects_mismatched () =
+  let prng = Prng.create ~seed:6 in
+  Alcotest.check_raises "vertex sets"
+    (Invalid_argument "Sparsifier.evaluate: vertex sets differ") (fun () ->
+      ignore (Sparsifier.evaluate prng (Gen.cycle 4) (Gen.cycle 5) ~probes:5))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"unions are connected spanning subgraphs" ~count:30
+      (make Gen.(pair (int_range 5 12) (int_range 0 10_000)))
+      (fun (n, seed) ->
+        let prng = Prng.create ~seed in
+        let g = Cc_graph.Gen.random_connected prng ~n ~extra_edges:n in
+        let h = Sparsifier.union prng wilson g ~trees:2 ~reweight:false in
+        Graph.is_connected h
+        && List.for_all (fun (u, v, _) -> Graph.has_edge g u v) (Graph.edges h));
+    Test.make ~name:"cut ratios bracket 1 for reweighted unions" ~count:20
+      (make Gen.(pair (int_range 6 12) (int_range 0 10_000)))
+      (fun (n, seed) ->
+        let prng = Prng.create ~seed in
+        let g = Cc_graph.Gen.complete n in
+        let h = Sparsifier.union prng wilson g ~trees:4 ~reweight:true in
+        let q = Sparsifier.evaluate prng g h ~probes:50 in
+        q.Sparsifier.cut_ratio_min <= 1.0 +. 1e-9
+        && q.Sparsifier.cut_ratio_max >= 1.0 -. 1e-9);
+  ]
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  Alcotest.run "cc_apps"
+    [
+      ( "sparsifier",
+        [
+          Alcotest.test_case "union structure" `Quick test_union_is_connected_subgraph;
+          Alcotest.test_case "single tree" `Quick test_single_tree_union_is_a_tree;
+          Alcotest.test_case "unbiased reweighting" `Slow test_reweighted_union_unbiased;
+          Alcotest.test_case "quality vs trees" `Slow test_quality_improves_with_more_trees;
+          Alcotest.test_case "self evaluation" `Quick test_evaluate_self_is_exact;
+          Alcotest.test_case "input validation" `Quick test_evaluate_rejects_mismatched;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,291 @@
+(* Tests for Cc_clique: Lenzen-routing round accounting, broadcast,
+   aggregation, and the two matrix-multiplication backends. *)
+
+module Net = Cc_clique.Net
+module Matmul = Cc_clique.Matmul
+module Mat = Cc_linalg.Mat
+module Prng = Cc_util.Prng
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_rounds msg expected net =
+  if not (feq expected (Net.rounds net)) then
+    Alcotest.failf "%s: expected %.1f rounds, got %.1f" msg expected
+      (Net.rounds net)
+
+(* --- exchange --- *)
+
+let test_single_message_one_round () =
+  let net = Net.create ~n:8 in
+  Net.exchange net ~label:"t" [ { Net.src = 0; dst = 1; words = 1 } ];
+  check_rounds "single word" 1.0 net
+
+let test_full_lenzen_load_one_round () =
+  (* Every machine sends exactly n words spread over all destinations:
+     Lenzen says O(1) rounds; our accounting books exactly 1. *)
+  let n = 8 in
+  let net = Net.create ~n in
+  let packets = ref [] in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then packets := { Net.src; dst; words = 1 } :: !packets
+    done
+  done;
+  Net.exchange net ~label:"t" !packets;
+  check_rounds "balanced all-to-all" 1.0 net
+
+let test_hotspot_costs_linear_rounds () =
+  (* Everyone sends n words to machine 0: machine 0 receives n*(n-1) words,
+     needing ceil(n(n-1)/n) = n-1 rounds. This is the receiver bottleneck the
+     doubling load balancer exists to avoid. *)
+  let n = 8 in
+  let net = Net.create ~n in
+  let packets =
+    List.init (n - 1) (fun i -> { Net.src = i + 1; dst = 0; words = n })
+  in
+  Net.exchange net ~label:"t" packets;
+  check_rounds "hotspot" (float_of_int (n - 1)) net
+
+let test_self_messages_free () =
+  let net = Net.create ~n:4 in
+  Net.exchange net ~label:"t" [ { Net.src = 2; dst = 2; words = 100 } ];
+  check_rounds "self message" 0.0 net;
+  Alcotest.(check int) "no words" 0 (Net.words net)
+
+let test_exchange_validation () =
+  let net = Net.create ~n:4 in
+  Alcotest.check_raises "bad id"
+    (Invalid_argument "Net.exchange: machine ID out of range") (fun () ->
+      Net.exchange net ~label:"t" [ { Net.src = 0; dst = 9; words = 1 } ]);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Net.exchange: negative payload") (fun () ->
+      Net.exchange net ~label:"t" [ { Net.src = 0; dst = 1; words = -1 } ])
+
+let test_ledger_breakdown () =
+  let net = Net.create ~n:4 in
+  Net.exchange net ~label:"a" [ { Net.src = 0; dst = 1; words = 1 } ];
+  Net.exchange net ~label:"b" [ { Net.src = 0; dst = 1; words = 8 } ];
+  let ledger = Net.ledger net in
+  Alcotest.(check int) "two labels" 2 (List.length ledger);
+  let b_rounds =
+    List.find_map (fun (l, r, _, _) -> if l = "b" then Some r else None) ledger
+  in
+  Alcotest.(check (option (float 0.001))) "b cost" (Some 2.0) b_rounds
+
+let test_reset () =
+  let net = Net.create ~n:4 in
+  Net.exchange net ~label:"t" [ { Net.src = 0; dst = 1; words = 5 } ];
+  Net.reset net;
+  check_rounds "after reset" 0.0 net;
+  Alcotest.(check int) "messages" 0 (Net.messages net)
+
+(* --- broadcast / all_to_all / aggregate --- *)
+
+let test_broadcast_small_payload () =
+  let net = Net.create ~n:16 in
+  Net.broadcast net ~label:"t" ~src:3 ~words:1;
+  check_rounds "1 word broadcast" 1.0 net
+
+let test_broadcast_large_payload () =
+  let net = Net.create ~n:16 in
+  Net.broadcast net ~label:"t" ~src:3 ~words:160;
+  check_rounds "160 words over n=16" 10.0 net
+
+let test_all_to_all () =
+  let net = Net.create ~n:8 in
+  Net.all_to_all net ~label:"t" ~words_each:3;
+  check_rounds "3 words each" 3.0 net;
+  Alcotest.(check int) "messages" (8 * 7) (Net.messages net)
+
+let test_aggregate_combinable () =
+  let net = Net.create ~n:8 in
+  Net.aggregate net ~label:"t" ~contributors:(List.init 8 (fun i -> i)) ~dst:0 1;
+  check_rounds "combinable sum" 1.0 net
+
+let test_aggregate_not_combinable () =
+  let net = Net.create ~n:8 in
+  Net.aggregate net ~label:"t" ~combinable:false
+    ~contributors:(List.init 8 (fun i -> i))
+    ~dst:0 8;
+  (* 7 contributors * 8 words = 56 words to one machine = ceil(56/8) = 7. *)
+  check_rounds "gather" 7.0 net
+
+(* --- words_for_bits --- *)
+
+let test_words_for_bits () =
+  let net = Net.create ~n:256 in
+  (* word size = 8 bits at n=256. *)
+  Alcotest.(check int) "0 bits" 0 (Net.words_for_bits net 0);
+  Alcotest.(check int) "1 bit" 1 (Net.words_for_bits net 1);
+  Alcotest.(check int) "8 bits" 1 (Net.words_for_bits net 8);
+  Alcotest.(check int) "9 bits" 2 (Net.words_for_bits net 9);
+  (* entry = log^2 n = 64 bits = 8 words. *)
+  Alcotest.(check int) "entry words" 8 (Net.entry_words net)
+
+(* --- Matmul --- *)
+
+let random_stochastic prng n =
+  Mat.normalize_rows (Mat.init ~rows:n ~cols:n (fun _ _ -> Prng.float prng 1.0 +. 0.01))
+
+let test_matmul_backends_agree () =
+  let prng = Prng.create ~seed:1 in
+  let n = 8 in
+  let a = random_stochastic prng n and b = random_stochastic prng n in
+  let net1 = Net.create ~n and net2 = Net.create ~n in
+  let c1 = Matmul.mul net1 (Matmul.charged ()) a b in
+  let c2 = Matmul.mul net2 Matmul.Routed_broadcast a b in
+  Alcotest.(check bool) "products equal" true (Mat.equal ~tol:1e-12 c1 c2);
+  Alcotest.(check bool) "charged is cheaper" true (Net.rounds net1 < Net.rounds net2)
+
+let test_matmul_charged_cost_scaling () =
+  (* Charged cost must scale like n^alpha * entry_words. *)
+  let cost n =
+    let net = Net.create ~n in
+    Matmul.rounds_estimate net (Matmul.charged ())
+  in
+  let c64 = cost 64 and c256 = cost 256 in
+  Alcotest.(check bool) "cost grows" true (c256 > c64);
+  (* ratio = (256/64)^0.158 * (entry_words 256 / entry_words 64)
+     = 4^0.158 * (8 / 5): at n=64 an entry is ceil(36/8) = 5 words,
+     at n=256 it is ceil(64/8) = 8. *)
+  let expected = ((256.0 /. 64.0) ** 0.158) *. (8.0 /. 5.0) in
+  let ratio = c256 /. c64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f ~ %.3f" ratio expected)
+    true
+    (Float.abs (ratio -. expected) < 0.2)
+
+let test_matmul_routed_cost_linear () =
+  let n = 16 in
+  let net = Net.create ~n in
+  let prng = Prng.create ~seed:2 in
+  let a = random_stochastic prng n and b = random_stochastic prng n in
+  ignore (Matmul.mul net Matmul.Routed_broadcast a b);
+  (* Each machine sends/receives (n-1) * n * entry_words words:
+     rounds = ceil((n-1) * n * ew / n) = (n-1) * ew. *)
+  let ew = Net.entry_words net in
+  check_rounds "routed cost" (float_of_int ((n - 1) * ew)) net
+
+let test_power_table_values () =
+  let prng = Prng.create ~seed:3 in
+  let n = 8 in
+  let m = random_stochastic prng n in
+  let net = Net.create ~n in
+  let table = Matmul.power_table net (Matmul.charged ()) m ~levels:3 in
+  Alcotest.(check int) "length" 4 (Array.length table);
+  Alcotest.(check bool) "m^8" true
+    (Mat.equal ~tol:1e-9 table.(3) (Mat.power m 8))
+
+let test_power_table_books_rounds () =
+  let prng = Prng.create ~seed:4 in
+  let n = 8 in
+  let m = random_stochastic prng n in
+  let net = Net.create ~n in
+  ignore (Matmul.power_table net (Matmul.charged ()) m ~levels:5);
+  (* 5 multiplications plus 6 transposes: rounds > 0 and at least 5 * charge. *)
+  let per_mul = Matmul.rounds_estimate net (Matmul.charged ()) in
+  Alcotest.(check bool) "booked at least the muls" true
+    (Net.rounds net >= 5.0 *. per_mul)
+
+let test_semiring_backend () =
+  let prng = Prng.create ~seed:5 in
+  let n = 27 in
+  let a = random_stochastic prng n and b = random_stochastic prng n in
+  let net_c = Net.create ~n and net_s = Net.create ~n and net_r = Net.create ~n in
+  let pc = Matmul.mul net_c (Matmul.charged ()) a b in
+  let ps = Matmul.mul net_s Matmul.Routed_semiring a b in
+  Alcotest.(check bool) "same product" true (Mat.equal ~tol:1e-12 pc ps);
+  ignore (Matmul.mul net_r Matmul.Routed_broadcast a b);
+  (* Cost ordering: charged (n^0.158) < semiring (n^1/3) < broadcast (n). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "ordering %.0f < %.0f < %.0f" (Net.rounds net_c)
+       (Net.rounds net_s) (Net.rounds net_r))
+    true
+    (Net.rounds net_c < Net.rounds net_s && Net.rounds net_s < Net.rounds net_r)
+
+let test_mul_cost_off_size () =
+  let net = Net.create ~n:16 in
+  let base = Matmul.mul_cost net (Matmul.charged ()) ~dim:16 in
+  let double = Matmul.mul_cost net (Matmul.charged ()) ~dim:32 in
+  Alcotest.(check (float 1e-9)) "2n costs 4x" (4.0 *. base) double;
+  let small = Matmul.mul_cost net (Matmul.charged ()) ~dim:8 in
+  Alcotest.(check (float 1e-9)) "small clamps to base" base small
+
+(* --- qcheck --- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"exchange rounds = ceil(max load / n)" ~count:200
+      (make
+         Gen.(
+           pair (int_range 2 16)
+             (list_size (int_range 1 50)
+                (triple (int_range 0 15) (int_range 0 15) (int_range 0 20)))))
+      (fun (n, raw) ->
+        let packets =
+          List.filter_map
+            (fun (s, d, w) ->
+              if s < n && d < n then Some { Net.src = s; dst = d; words = w }
+              else None)
+          raw
+        in
+        let net = Net.create ~n in
+        Net.exchange net ~label:"t" packets;
+        let sent = Array.make n 0 and recv = Array.make n 0 in
+        List.iter
+          (fun { Net.src; dst; words } ->
+            if src <> dst then begin
+              sent.(src) <- sent.(src) + words;
+              recv.(dst) <- recv.(dst) + words
+            end)
+          packets;
+        let load = Array.fold_left max 0 (Array.append sent recv) in
+        let expected = if load = 0 then 0.0 else float_of_int ((load + n - 1) / n) in
+        feq expected (Net.rounds net));
+    Test.make ~name:"matmul backends compute the same product" ~count:20
+      (make Gen.(pair (int_range 2 10) (int_range 0 1000)))
+      (fun (n, seed) ->
+        let prng = Prng.create ~seed in
+        let a = random_stochastic prng n and b = random_stochastic prng n in
+        let net = Net.create ~n in
+        Mat.equal ~tol:1e-12
+          (Matmul.mul net (Matmul.charged ()) a b)
+          (Matmul.mul net Matmul.Routed_broadcast a b));
+  ]
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  Alcotest.run "cc_clique"
+    [
+      ( "exchange",
+        [
+          Alcotest.test_case "single message" `Quick test_single_message_one_round;
+          Alcotest.test_case "balanced all-to-all" `Quick test_full_lenzen_load_one_round;
+          Alcotest.test_case "hotspot" `Quick test_hotspot_costs_linear_rounds;
+          Alcotest.test_case "self messages" `Quick test_self_messages_free;
+          Alcotest.test_case "validation" `Quick test_exchange_validation;
+          Alcotest.test_case "ledger" `Quick test_ledger_breakdown;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "collectives",
+        [
+          Alcotest.test_case "broadcast small" `Quick test_broadcast_small_payload;
+          Alcotest.test_case "broadcast large" `Quick test_broadcast_large_payload;
+          Alcotest.test_case "all-to-all" `Quick test_all_to_all;
+          Alcotest.test_case "aggregate combinable" `Quick test_aggregate_combinable;
+          Alcotest.test_case "aggregate gather" `Quick test_aggregate_not_combinable;
+          Alcotest.test_case "words_for_bits" `Quick test_words_for_bits;
+        ] );
+      ( "matmul",
+        [
+          Alcotest.test_case "backends agree" `Quick test_matmul_backends_agree;
+          Alcotest.test_case "charged scaling" `Quick test_matmul_charged_cost_scaling;
+          Alcotest.test_case "routed cost" `Quick test_matmul_routed_cost_linear;
+          Alcotest.test_case "power table values" `Quick test_power_table_values;
+          Alcotest.test_case "power table rounds" `Quick test_power_table_books_rounds;
+          Alcotest.test_case "off-size cost" `Quick test_mul_cost_off_size;
+          Alcotest.test_case "semiring backend" `Quick test_semiring_backend;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,345 @@
+(* Tests for Cc_util: PRNG determinism, k-wise hashing, distributions,
+   statistics, table rendering. *)
+
+module Prng = Cc_util.Prng
+module Kwise_hash = Cc_util.Kwise_hash
+module Dist = Cc_util.Dist
+module Stats = Cc_util.Stats
+module Table = Cc_util.Table
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let xa = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+  let xb = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+  Alcotest.(check bool) "different seeds differ" true (xa <> xb)
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:7 in
+  let child1 = Prng.split parent in
+  let child2 = Prng.split parent in
+  let x1 = List.init 20 (fun _ -> Prng.int child1 1_000_000) in
+  let x2 = List.init 20 (fun _ -> Prng.int child2 1_000_000) in
+  Alcotest.(check bool) "split streams differ" true (x1 <> x2)
+
+let test_prng_int_range () =
+  let prng = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int prng 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "Prng.int out of range"
+  done
+
+let test_prng_shuffle_is_permutation () =
+  let prng = Prng.create ~seed:11 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle prng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 50 (fun i -> i))
+
+let test_prng_subset () =
+  let prng = Prng.create ~seed:13 in
+  let arr = Array.init 30 (fun i -> i) in
+  let sub = Prng.subset prng ~size:10 arr in
+  Alcotest.(check int) "size" 10 (Array.length sub);
+  let module IS = Set.Make (Int) in
+  Alcotest.(check int) "distinct" 10 (IS.cardinal (IS.of_list (Array.to_list sub)))
+
+let test_prng_bits () =
+  let prng = Prng.create ~seed:17 in
+  for _ = 1 to 200 do
+    let x = Prng.bits prng ~width:10 in
+    if x < 0 || x >= 1024 then Alcotest.fail "bits out of range"
+  done
+
+(* --- Kwise_hash --- *)
+
+let test_hash_in_range () =
+  let prng = Prng.create ~seed:5 in
+  let h = Kwise_hash.create prng ~independence:8 ~domain:10_000 ~range:64 in
+  for x = 0 to 999 do
+    let v = Kwise_hash.apply h x in
+    if v < 0 || v >= 64 then Alcotest.fail "hash out of range"
+  done
+
+let test_hash_deterministic () =
+  let prng = Prng.create ~seed:5 in
+  let h = Kwise_hash.create prng ~independence:8 ~domain:10_000 ~range:64 in
+  Alcotest.(check int) "same input same output" (Kwise_hash.apply h 123)
+    (Kwise_hash.apply h 123)
+
+let test_hash_roughly_uniform () =
+  (* Chi-square against uniform over 16 buckets with 16k inputs: statistic
+     should be far below a catastrophic threshold. *)
+  let prng = Prng.create ~seed:23 in
+  let h = Kwise_hash.create prng ~independence:16 ~domain:100_000 ~range:16 in
+  let counts = Array.make 16 0 in
+  for x = 0 to 16_383 do
+    let b = Kwise_hash.apply h x in
+    counts.(b) <- counts.(b) + 1
+  done;
+  let stat = Dist.chi_square_stat ~counts (Dist.uniform 16) in
+  (* 15 dof; mean 15, generous bound. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "chi-square %.1f reasonable" stat)
+    true (stat < 60.0)
+
+let test_hash_description_bits () =
+  let prng = Prng.create ~seed:5 in
+  let h = Kwise_hash.create prng ~independence:10 ~domain:100 ~range:10 in
+  Alcotest.(check int) "t * 31 bits" 310 (Kwise_hash.description_bits h)
+
+let test_hash_pairwise_collision_rate () =
+  (* For a pairwise-independent family, Pr[h(x) = h(y)] = 1/range. *)
+  let prng = Prng.create ~seed:29 in
+  let range = 32 in
+  let trials = 3000 in
+  let collisions = ref 0 in
+  for t = 0 to trials - 1 do
+    let h = Kwise_hash.create prng ~independence:2 ~domain:10_000 ~range in
+    if Kwise_hash.apply h (2 * t) = Kwise_hash.apply h ((2 * t) + 1) then
+      incr collisions
+  done;
+  let rate = float_of_int !collisions /. float_of_int trials in
+  let expected = 1.0 /. float_of_int range in
+  Alcotest.(check bool)
+    (Printf.sprintf "collision rate %.4f close to %.4f" rate expected)
+    true
+    (Float.abs (rate -. expected) < 4.0 *. sqrt (expected /. float_of_int trials) +. 0.01)
+
+(* --- Dist --- *)
+
+let test_dist_normalization () =
+  let d = Dist.of_weights [| 1.0; 3.0; 4.0 |] in
+  check_float "p0" 0.125 (Dist.prob d 0);
+  check_float "p1" 0.375 (Dist.prob d 1);
+  check_float "p2" 0.5 (Dist.prob d 2)
+
+let test_dist_sample_frequencies () =
+  let prng = Prng.create ~seed:101 in
+  let d = Dist.of_weights [| 1.0; 2.0; 7.0 |] in
+  let counts = Array.make 3 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    let i = Dist.sample d prng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let tv = Dist.tv_counts ~counts d in
+  Alcotest.(check bool) (Printf.sprintf "tv %.4f small" tv) true (tv < 0.01)
+
+let test_dist_sample_weights_matches () =
+  let prng = Prng.create ~seed:103 in
+  let w = [| 5.0; 1.0; 4.0 |] in
+  let counts = Array.make 3 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    let i = Dist.sample_weights w prng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let tv = Dist.tv_counts ~counts (Dist.of_weights w) in
+  Alcotest.(check bool) (Printf.sprintf "tv %.4f small" tv) true (tv < 0.01)
+
+let test_alias_matches_cdf () =
+  let prng = Prng.create ~seed:107 in
+  let d = Dist.of_weights [| 0.1; 0.2; 0.3; 0.4; 1.0; 2.0 |] in
+  let a = Dist.alias_of d in
+  let counts = Array.make 6 0 in
+  let trials = 60_000 in
+  for _ = 1 to trials do
+    let i = Dist.alias_sample a prng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let tv = Dist.tv_counts ~counts d in
+  Alcotest.(check bool) (Printf.sprintf "alias tv %.4f small" tv) true (tv < 0.01)
+
+let test_tv_distance () =
+  let a = Dist.of_weights [| 1.0; 1.0 |] in
+  let b = Dist.of_weights [| 1.0; 3.0 |] in
+  check_float "tv" 0.25 (Dist.tv a b);
+  check_float "tv self" 0.0 (Dist.tv a a)
+
+let test_point_dist () =
+  let d = Dist.point ~support_size:4 2 in
+  check_float "mass" 1.0 (Dist.prob d 2);
+  check_float "elsewhere" 0.0 (Dist.prob d 0)
+
+let test_kl_properties () =
+  let a = Dist.of_weights [| 1.0; 1.0 |] in
+  check_float "kl self" 0.0 (Dist.kl a a);
+  let b = Dist.point ~support_size:2 0 in
+  Alcotest.(check bool) "kl infinite" true (Dist.kl a b = infinity)
+
+let test_dist_rejects_bad_weights () =
+  Alcotest.check_raises "negative" (Invalid_argument "Dist: weights must be finite and nonnegative")
+    (fun () -> ignore (Dist.of_weights [| 1.0; -1.0 |]));
+  Alcotest.check_raises "all zero" (Invalid_argument "Dist.of_weights: all weights are zero")
+    (fun () -> ignore (Dist.of_weights [| 0.0; 0.0 |]))
+
+(* --- Stats --- *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 s.Stats.mean;
+  check_float "median" 2.5 s.Stats.median;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 4.0 s.Stats.max
+
+let test_linear_fit () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 3.0; 5.0; 7.0; 9.0 |] in
+  let slope, intercept = Stats.linear_fit xs ys in
+  check_float "slope" 2.0 slope;
+  check_float "intercept" 1.0 intercept
+
+let test_fit_power () =
+  let xs = [| 2.0; 4.0; 8.0; 16.0; 32.0 |] in
+  let ys = Array.map (fun x -> 3.0 *. (x ** 1.5)) xs in
+  let e, c = Stats.fit_power xs ys in
+  check_float ~eps:1e-6 "exponent" 1.5 e;
+  check_float ~eps:1e-6 "coefficient" 3.0 c
+
+let test_quantile () =
+  let xs = [| 5.0; 1.0; 3.0 |] in
+  check_float "q0" 1.0 (Stats.quantile 0.0 xs);
+  check_float "q50" 3.0 (Stats.quantile 0.5 xs);
+  check_float "q100" 5.0 (Stats.quantile 1.0 xs)
+
+let test_r_squared_perfect () =
+  let xs = [| 1.0; 2.0; 3.0 |] and ys = [| 2.0; 4.0; 6.0 |] in
+  let fit = Stats.linear_fit xs ys in
+  check_float "r2" 1.0 (Stats.r_squared xs ys fit)
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains title" true
+    (String.length s > 0 && String.sub s 0 4 = "demo");
+  Alcotest.(check bool) "contains cell" true
+    (contains_substring s "333")
+
+and test_table_row_mismatch () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Table.add_row: cell count does not match columns")
+    (fun () -> Table.add_row t [ "1" ])
+
+let test_table_csv () =
+  let t = Table.create ~title:"t" ~columns:[ "x" ] in
+  Table.add_row t [ "a,b" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check bool) "escaped" true (contains_substring csv "\"a,b\"")
+
+(* --- qcheck properties --- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"dist: probabilities sum to 1"
+      (list_of_size (Gen.int_range 1 30) (float_range 0.001 100.0))
+      (fun ws ->
+        let d = Dist.of_weights (Array.of_list ws) in
+        feq ~eps:1e-9 1.0 (Array.fold_left ( +. ) 0.0 (Dist.probs d)));
+    Test.make ~name:"dist: tv is symmetric and in [0,1]"
+      (pair
+         (list_of_size (Gen.return 8) (float_range 0.001 10.0))
+         (list_of_size (Gen.return 8) (float_range 0.001 10.0)))
+      (fun (wa, wb) ->
+        let a = Dist.of_weights (Array.of_list wa) in
+        let b = Dist.of_weights (Array.of_list wb) in
+        let t1 = Dist.tv a b and t2 = Dist.tv b a in
+        feq ~eps:1e-12 t1 t2 && t1 >= 0.0 && t1 <= 1.0 +. 1e-12);
+    Test.make ~name:"stats: fit_power recovers planted exponent"
+      (pair (float_range 0.2 3.0) (float_range 0.5 10.0))
+      (fun (e, c) ->
+        let xs = [| 2.0; 4.0; 8.0; 16.0 |] in
+        let ys = Array.map (fun x -> c *. (x ** e)) xs in
+        let e', c' = Stats.fit_power xs ys in
+        feq ~eps:1e-6 e e' && feq ~eps:(1e-6 *. c) c c');
+    Test.make ~name:"prng: subset has no duplicates"
+      (int_range 1 40)
+      (fun size ->
+        let prng = Prng.create ~seed:size in
+        let arr = Array.init 40 (fun i -> i) in
+        let sub = Prng.subset prng ~size arr in
+        let module IS = Set.Make (Int) in
+        IS.cardinal (IS.of_list (Array.to_list sub)) = size);
+    Test.make ~name:"hash: always lands in range"
+      (pair (int_range 2 100) (int_range 0 9_999))
+      (fun (range, x) ->
+        let prng = Prng.create ~seed:(range + x) in
+        let h = Kwise_hash.create prng ~independence:4 ~domain:10_000 ~range in
+        let v = Kwise_hash.apply h x in
+        v >= 0 && v < range);
+  ]
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  Alcotest.run "cc_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_is_permutation;
+          Alcotest.test_case "subset distinct" `Quick test_prng_subset;
+          Alcotest.test_case "bits width" `Quick test_prng_bits;
+        ] );
+      ( "kwise_hash",
+        [
+          Alcotest.test_case "range" `Quick test_hash_in_range;
+          Alcotest.test_case "deterministic" `Quick test_hash_deterministic;
+          Alcotest.test_case "uniformity" `Quick test_hash_roughly_uniform;
+          Alcotest.test_case "description bits" `Quick test_hash_description_bits;
+          Alcotest.test_case "pairwise collisions" `Slow test_hash_pairwise_collision_rate;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "normalization" `Quick test_dist_normalization;
+          Alcotest.test_case "sample frequencies" `Slow test_dist_sample_frequencies;
+          Alcotest.test_case "sample_weights" `Slow test_dist_sample_weights_matches;
+          Alcotest.test_case "alias method" `Slow test_alias_matches_cdf;
+          Alcotest.test_case "tv distance" `Quick test_tv_distance;
+          Alcotest.test_case "point mass" `Quick test_point_dist;
+          Alcotest.test_case "kl" `Quick test_kl_properties;
+          Alcotest.test_case "rejects bad weights" `Quick test_dist_rejects_bad_weights;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+          Alcotest.test_case "power fit" `Quick test_fit_power;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "r squared" `Quick test_r_squared_perfect;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "row mismatch" `Quick test_table_row_mismatch;
+          Alcotest.test_case "csv escaping" `Quick test_table_csv;
+        ] );
+      ("properties", qsuite);
+    ]
