@@ -16,6 +16,7 @@ module Graph = Cc_graph.Graph
 module Gen = Cc_graph.Gen
 module Tree = Cc_graph.Tree
 module Net = Cc_clique.Net
+module Fault = Cc_clique.Fault
 module Prng = Cc_util.Prng
 module Sampler = Cc_sampler.Sampler
 module Doubling = Cc_doubling.Doubling
@@ -55,6 +56,94 @@ let size_t =
 let file_t =
   let doc = "Read the graph from $(docv) instead of generating one." in
   Arg.(value & opt (some file) None & info [ "g"; "graph" ] ~doc ~docv:"FILE")
+
+(* --- fault-injection options (shared by sample / doubling) --- *)
+
+let prob_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some p when p >= 0.0 && p < 1.0 -> Ok p
+    | Some _ -> Error (`Msg "probability must be in [0, 1)")
+    | None -> Error (`Msg (Printf.sprintf "invalid probability %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let crash_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg (Printf.sprintf "invalid crash spec %S (expected 'M' or 'M@R')" s))
+    in
+    match String.index_opt s '@' with
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            float_of_string_opt
+              (String.sub s (i + 1) (String.length s - i - 1)) )
+        with
+        | Some m, Some r when m >= 0 && r >= 0.0 -> Ok (m, r)
+        | _ -> fail ())
+    | None -> (
+        match int_of_string_opt s with
+        | Some m when m >= 0 -> Ok (m, 0.0)
+        | _ -> fail ())
+  in
+  let print ppf (m, r) = Format.fprintf ppf "%d@%g" m r in
+  Arg.conv (parse, print)
+
+let faults_t =
+  let drop_t =
+    let doc = "Per-message drop probability in [0, 1)." in
+    Arg.(value & opt prob_conv 0.0 & info [ "drop-prob" ] ~doc ~docv:"P")
+  in
+  let corrupt_t =
+    let doc = "Per-message payload-corruption probability in [0, 1)." in
+    Arg.(value & opt prob_conv 0.0 & info [ "corrupt-prob" ] ~doc ~docv:"P")
+  in
+  let straggle_t =
+    let doc = "Per-primitive straggler probability in [0, 1)." in
+    Arg.(value & opt prob_conv 0.0 & info [ "straggle-prob" ] ~doc ~docv:"P")
+  in
+  let crash_t =
+    let doc =
+      "Crash machine $(docv) permanently ('M@R' = machine M at round R; a \
+       bare 'M' crashes at round 0). Repeatable."
+    in
+    Arg.(value & opt_all crash_conv [] & info [ "crash" ] ~doc ~docv:"M@R")
+  in
+  let fault_seed_t =
+    let doc =
+      "Seed of the fault schedule; the same --seed/--fault-seed pair \
+       reproduces the run bit-for-bit, faults included."
+    in
+    Arg.(value & opt int 0 & info [ "fault-seed" ] ~doc)
+  in
+  let max_retries_t =
+    let doc = "Retransmission budget per packet before it is declared lost." in
+    Arg.(value & opt int 8 & info [ "max-retries" ] ~doc)
+  in
+  let combine drop_prob corrupt_prob straggle_prob crashes seed max_retries =
+    if
+      drop_prob = 0.0 && corrupt_prob = 0.0 && straggle_prob = 0.0
+      && crashes = []
+    then None
+    else
+      Some
+        (Fault.create
+           (Fault.spec ~drop_prob ~corrupt_prob ~straggle_prob ~max_retries
+              ~crashes ~seed ()))
+  in
+  Term.(
+    const combine $ drop_t $ corrupt_t $ straggle_t $ crash_t $ fault_seed_t
+    $ max_retries_t)
+
+let arm_faults faults net =
+  match faults with Some f -> Net.with_faults f net | None -> net
+
+let print_fault_summary faults net =
+  if faults <> None then
+    Printf.printf "# faults: %d retransmits, %d dropped, %.1f overhead rounds\n"
+      (Net.retransmits net) (Net.dropped net) (Net.overhead_rounds net)
 
 let load_graph ?weights ~family ~size ~file ~prng () =
   let g =
@@ -104,12 +193,13 @@ let sample_cmd =
     in
     Arg.(value & opt string "cc" & info [ "method" ] ~doc)
   in
-  let run seed verbose family size file weights trials ledger alpha bits method_ =
+  let run seed verbose family size file weights trials ledger alpha bits method_
+      faults =
     setup_logs verbose;
     let prng = Prng.create ~seed in
     let g = load_graph ?weights ~family ~size ~file ~prng () in
     let n = Graph.n g in
-    let net = Net.create ~n in
+    let net = arm_faults faults (Net.create ~n) in
     let config =
       {
         Sampler.default_config with
@@ -123,6 +213,8 @@ let sample_cmd =
           let r = Sampler.sample ~config net prng g in
           Printf.printf "# tree %d: %d phases, %.0f rounds, walk length %d\n" t
             r.Sampler.phases r.Sampler.rounds r.Sampler.walk_total;
+          if faults <> None then
+            Format.printf "# health: %a@." Fault.pp_health r.Sampler.health;
           print_tree r.Sampler.tree
       | "sequential" ->
           let r = Cc_sampler.Sequential.sample g prng in
@@ -146,6 +238,7 @@ let sample_cmd =
           print_tree (Cc_walks.Determinantal.sample_tree g prng)
       | m -> failwith ("unknown method: " ^ m))
     done;
+    print_fault_summary faults net;
     if ledger then Format.printf "%a@." Net.pp_ledger net
   in
   let info =
@@ -155,7 +248,7 @@ let sample_cmd =
   Cmd.v info
     Term.(
       const run $ seed_t $ verbose_t $ family_t $ size_t $ file_t $ weights_t
-      $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t)
+      $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t $ faults_t)
 
 (* --- doubling --- *)
 
@@ -163,15 +256,17 @@ let doubling_cmd =
   let tau_t =
     Arg.(value & opt int 0 & info [ "tau" ] ~doc:"Walk length (0 = sample a tree instead).")
   in
-  let run seed family size file tau =
+  let run seed family size file tau faults =
     let prng = Prng.create ~seed in
     let g = load_graph ~family ~size ~file ~prng () in
     let n = Graph.n g in
-    let net = Net.create ~n in
+    let net = arm_faults faults (Net.create ~n) in
     if tau > 0 then begin
       let r = Doubling.run net prng g ~tau ~scheme:(Doubling.default_scheme ~n) in
       Printf.printf "# %d iterations, %.0f rounds; walk from vertex 0:\n"
         r.Doubling.iterations r.Doubling.rounds;
+      if faults <> None then
+        Format.printf "# health: %a@." Fault.pp_health r.Doubling.health;
       Array.iter (fun v -> Printf.printf "%d " v) r.Doubling.walks.(0);
       print_newline ()
     end
@@ -180,13 +275,15 @@ let doubling_cmd =
       Printf.printf "# tree via doubling: %.0f rounds, walk length %d\n"
         (Net.rounds net) walk_len;
       print_tree tree
-    end
+    end;
+    print_fault_summary faults net
   in
   let info =
     Cmd.info "doubling"
       ~doc:"Load-balanced doubling walks and Corollary 1-2 tree sampling."
   in
-  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t $ tau_t)
+  Cmd.v info
+    Term.(const run $ seed_t $ family_t $ size_t $ file_t $ tau_t $ faults_t)
 
 (* --- walk --- *)
 

@@ -5,7 +5,11 @@ type t = {
   mutable total_rounds : float;
   mutable total_messages : int;
   mutable total_words : int;
+  mutable total_retransmits : int;
+  mutable total_dropped : int;
+  mutable overhead_rounds : float;
   by_label : (string, entry) Hashtbl.t;
+  mutable injected : Fault.t option;
 }
 
 let create ~n =
@@ -15,10 +19,19 @@ let create ~n =
     total_rounds = 0.0;
     total_messages = 0;
     total_words = 0;
+    total_retransmits = 0;
+    total_dropped = 0;
+    overhead_rounds = 0.0;
     by_label = Hashtbl.create 16;
+    injected = None;
   }
 
 let n t = t.n
+let faults t = t.injected
+
+let with_faults f t =
+  t.injected <- Some f;
+  t
 
 type packet = { src : int; dst : int; words : int }
 
@@ -37,7 +50,12 @@ let book t ~label ~rounds ~messages ~words =
   let e = entry_for t label in
   e.rounds <- e.rounds +. rounds;
   e.messages <- e.messages + messages;
-  e.words <- e.words + words
+  e.words <- e.words + words;
+  (* Crash-stop failures fire at round boundaries: booking a primitive ends
+     its rounds, so scheduled crashes up to the new clock take effect now. *)
+  match t.injected with
+  | Some f -> Fault.advance f ~now:t.total_rounds
+  | None -> ()
 
 let exchange t ~label packets =
   let sent = Array.make t.n 0 and received = Array.make t.n 0 in
@@ -66,10 +84,13 @@ let broadcast t ~label ~src ~words =
   if src < 0 || src >= t.n then invalid_arg "Net.broadcast: bad source";
   if words < 0 then invalid_arg "Net.broadcast: negative payload";
   if words > 0 then
-    (* Broadcast tree: src splits the payload into n shares, one per machine,
-       then every machine rebroadcasts its share — 2 * ceil(words/n) rounds,
-       floored at 1 and booked as ceil(words/n) "effective" rounds to match
-       the standard O(ceil(W/n) + 1) accounting. *)
+    (* Broadcast tree: src splits the payload into n shares of
+       ceil(words/n) words each, then every machine rebroadcasts its share.
+       Each step moves at most n * ceil(words/n) words through any machine,
+       i.e. ceil(words/n) rounds per step; we book the standard
+       O(ceil(W/n) + 1) accounting as max 1 (ceil(words/n)) rounds, folding
+       the two-step tree's constant factor into the big-O (the same
+       convention every other collective here uses). *)
     let rounds = Float.of_int (max 1 ((words + t.n - 1) / t.n)) in
     book t ~label ~rounds ~messages:(t.n - 1) ~words:(words * (t.n - 1))
 
@@ -103,19 +124,151 @@ let charge t ~label rounds =
   if rounds < 0.0 then invalid_arg "Net.charge: negative rounds";
   book t ~label ~rounds ~messages:0 ~words:0
 
+let charge_overhead t ~label rounds =
+  charge t ~label rounds;
+  t.overhead_rounds <- t.overhead_rounds +. rounds
+
+let note_overhead t rounds =
+  if rounds < 0.0 then invalid_arg "Net.note_overhead: negative rounds";
+  t.overhead_rounds <- t.overhead_rounds +. rounds
+
 let rounds t = t.total_rounds
 let messages t = t.total_messages
 let words t = t.total_words
+let retransmits t = t.total_retransmits
+let dropped t = t.total_dropped
+let overhead_rounds t = t.overhead_rounds
+
+(* --- reliable delivery on top of the fault layer --- *)
+
+type delivery = Delivered | Corrupted | Lost
+
+let retry_label label = label ^ ":retry"
+
+(* Book [packets] (already validated) as one retransmission wave plus an
+   exponential backoff wait, all under the [:retry] suffix; the extra rounds
+   are also accumulated in [overhead_rounds]. Acks ride for free: one word
+   per delivered packet always fits the per-machine O(n) round budget. *)
+let book_retry t ~label ~attempt packets =
+  let before = t.total_rounds in
+  exchange t ~label:(retry_label label) packets;
+  let backoff = Float.of_int (1 lsl min 10 (attempt - 1)) in
+  book t ~label:(retry_label label) ~rounds:backoff ~messages:0 ~words:0;
+  t.total_retransmits <- t.total_retransmits + List.length packets;
+  t.overhead_rounds <- t.overhead_rounds +. (t.total_rounds -. before)
+
+let book_straggle t ~label f =
+  let s = Fault.straggle_rounds f in
+  if s > 0 then begin
+    let rounds = Float.of_int s in
+    book t ~label:(label ^ ":straggle") ~rounds ~messages:0 ~words:0;
+    t.overhead_rounds <- t.overhead_rounds +. rounds
+  end
+
+(* Deliver one wave of [pending] packet indices; returns the still-dropped
+   subset. Fault decisions are drawn in index order, deterministically. *)
+let judge_wave t f arr out pending =
+  List.filter
+    (fun i ->
+      let { src; dst; words } = arr.(i) in
+      if src = dst || words = 0 then begin
+        out.(i) <- Delivered;
+        false
+      end
+      else if Fault.is_crashed f src || Fault.is_crashed f dst then begin
+        out.(i) <- Lost;
+        t.total_dropped <- t.total_dropped + 1;
+        false
+      end
+      else
+        match Fault.attempt f with
+        | Fault.Deliver ->
+            out.(i) <- Delivered;
+            false
+        | Fault.Corrupt ->
+            (* Bit flips are invisible to the transport; detection (and any
+               re-run) is the application's job. *)
+            out.(i) <- Corrupted;
+            false
+        | Fault.Drop ->
+            t.total_dropped <- t.total_dropped + 1;
+            true)
+    pending
+
+let reliable_exchange t ~label packets =
+  match t.injected with
+  | None ->
+      exchange t ~label packets;
+      Array.make (List.length packets) Delivered
+  | Some f ->
+      let arr = Array.of_list packets in
+      let out = Array.make (Array.length arr) Delivered in
+      exchange t ~label packets;
+      book_straggle t ~label f;
+      let pending = ref (List.init (Array.length arr) (fun i -> i)) in
+      pending := judge_wave t f arr out !pending;
+      let attempt = ref 0 in
+      while !pending <> [] && !attempt < (Fault.spec_of f).Fault.max_retries do
+        incr attempt;
+        let wave = List.map (fun i -> arr.(i)) !pending in
+        book_retry t ~label ~attempt:!attempt wave;
+        Fault.note_retransmit f (List.length wave);
+        pending := judge_wave t f arr out !pending
+      done;
+      List.iter (fun i -> out.(i) <- Lost) !pending;
+      out
+
+let reliable_broadcast t ~label ~src ~words =
+  match t.injected with
+  | None ->
+      broadcast t ~label ~src ~words;
+      Array.make t.n Delivered
+  | Some f ->
+      broadcast t ~label ~src ~words;
+      book_straggle t ~label f;
+      let out = Array.make t.n Delivered in
+      if Fault.is_crashed f src then begin
+        for dst = 0 to t.n - 1 do
+          if dst <> src then begin
+            out.(dst) <- Lost;
+            t.total_dropped <- t.total_dropped + 1
+          end
+        done;
+        out
+      end
+      else begin
+        let arr =
+          Array.init t.n (fun dst -> { src; dst; words = (if dst = src then 0 else words) })
+        in
+        let pending = ref (List.init t.n (fun i -> i)) in
+        pending := judge_wave t f arr out !pending;
+        let attempt = ref 0 in
+        while !pending <> [] && !attempt < (Fault.spec_of f).Fault.max_retries do
+          incr attempt;
+          let wave = List.map (fun i -> arr.(i)) !pending in
+          book_retry t ~label ~attempt:!attempt wave;
+          Fault.note_retransmit f (List.length wave);
+          pending := judge_wave t f arr out !pending
+        done;
+        List.iter (fun i -> out.(i) <- Lost) !pending;
+        out
+      end
 
 let ledger t =
   Hashtbl.fold (fun label e acc -> (label, e.rounds, e.messages, e.words) :: acc)
     t.by_label []
-  |> List.sort (fun (_, r1, _, _) (_, r2, _, _) -> compare r2 r1)
+  |> List.sort (fun (l1, r1, _, _) (l2, r2, _, _) ->
+         (* Descending rounds, ties broken by label so the ordering never
+            depends on Hashtbl fold order. *)
+         match compare r2 r1 with 0 -> compare l1 l2 | c -> c)
 
 let reset t =
   t.total_rounds <- 0.0;
   t.total_messages <- 0;
   t.total_words <- 0;
+  t.total_retransmits <- 0;
+  t.total_dropped <- 0;
+  t.overhead_rounds <- 0.0;
   Hashtbl.reset t.by_label
 
 let word_bits t = max 8 (int_of_float (Float.ceil (Float.log2 (Float.of_int t.n))))
@@ -131,6 +284,11 @@ let entry_words t =
 let pp_ledger fmt t =
   Format.fprintf fmt "@[<v>total rounds: %.1f, messages: %d, words: %d@,"
     t.total_rounds t.total_messages t.total_words;
+  if t.total_retransmits > 0 || t.total_dropped > 0 || t.overhead_rounds > 0.0
+  then
+    Format.fprintf fmt
+      "faults: %d retransmits, %d dropped, %.1f overhead rounds@,"
+      t.total_retransmits t.total_dropped t.overhead_rounds;
   List.iter
     (fun (label, r, m, w) ->
       Format.fprintf fmt "  %-32s %10.1f rounds %10d msgs %12d words@," label r m w)

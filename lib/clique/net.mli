@@ -18,10 +18,22 @@
 
 type t
 
-(** [create ~n] builds a clique of [n >= 2] machines. *)
+(** [create ~n] builds a clique of [n >= 2] machines (perfectly reliable
+    unless armed with {!with_faults}). *)
 val create : n:int -> t
 
+(** [with_faults f t] arms the net with the fault injector [f] and returns
+    [t] (chainable: [Net.create ~n |> Net.with_faults f]). From then on every
+    booked primitive advances the injector's round clock — firing scheduled
+    crash-stop failures at round boundaries — and the {!reliable_exchange} /
+    {!reliable_broadcast} primitives draw per-message drop/corruption
+    verdicts from it. *)
+val with_faults : Fault.t -> t -> t
+
 val n : t -> int
+
+(** [faults t] is the injector the net is armed with, if any. *)
+val faults : t -> Fault.t option
 
 (** {1 Packets and exchanges} *)
 
@@ -37,9 +49,45 @@ type packet = { src : int; dst : int; words : int }
 val exchange : t -> label:string -> packet list -> unit
 
 (** [broadcast t ~label ~src ~words] delivers the same [words]-word payload
-    from [src] to every machine: [max 1 (ceil (words / n))] rounds via a
-    broadcast tree (each recipient re-shares its share). *)
+    from [src] to every machine via a two-step broadcast tree ([src] scatters
+    n shares of [ceil (words / n)] words, every machine re-broadcasts its
+    share). Booked as [max 1 (ceil (words / n))] rounds — the standard
+    O(ceil(W/n) + 1) accounting, with the tree's constant factor folded into
+    the big-O. *)
 val broadcast : t -> label:string -> src:int -> words:int -> unit
+
+(** {1 Reliable delivery under fault injection}
+
+    When the net carries a {!Fault.t}, the plain primitives above stay
+    fault-oblivious (they model traffic whose loss the algorithm handles at
+    a higher level); the [reliable_*] variants implement ack + bounded
+    retransmission with exponential round backoff. Every retransmission wave
+    is metered under the original label with a [":retry"] suffix (and
+    straggler delays under [":straggle"]); the extra rounds are also
+    accumulated in {!overhead_rounds}. Without a fault injector they degrade
+    to the plain primitives and report every packet [Delivered]. *)
+
+(** Per-packet outcome of a reliable primitive. *)
+type delivery =
+  | Delivered  (** arrived intact (possibly after retransmissions). *)
+  | Corrupted
+      (** arrived with a payload bit flip the transport cannot detect;
+          surfaced so the application layer can checksum and re-run. *)
+  | Lost
+      (** undeliverable: an endpoint crashed or the retransmission budget
+          ([Fault.spec.max_retries]) was exhausted. *)
+
+(** [reliable_exchange t ~label packets] is {!exchange} with per-packet
+    delivery tracking; result index [i] is the outcome of the [i]-th packet
+    of [packets]. Fault verdicts are drawn in packet order, so a fixed packet
+    order plus a fixed fault seed gives a bit-identical outcome. *)
+val reliable_exchange : t -> label:string -> packet list -> delivery array
+
+(** [reliable_broadcast t ~label ~src ~words] is {!broadcast} with per-
+    destination delivery tracking (index = machine; [src]'s own slot is
+    always [Delivered]). A crashed source loses every recipient. *)
+val reliable_broadcast :
+  t -> label:string -> src:int -> words:int -> delivery array
 
 (** [all_to_all t ~label ~words_each] is the dense pattern in which every
     machine sends [words_each] words to every other machine —
@@ -66,17 +114,41 @@ val aggregate :
     Charged backend). *)
 val charge : t -> label:string -> float -> unit
 
+(** [charge_overhead t ~label rounds] is {!charge} that also counts the
+    rounds toward {!overhead_rounds} — for algorithm-level fault recovery
+    (checkpoint restores, recomputation) booked under [":retry"] labels. *)
+val charge_overhead : t -> label:string -> float -> unit
+
+(** [note_overhead t rounds] counts already-booked rounds toward
+    {!overhead_rounds} without booking them again (used when a recovery wave
+    was routed through {!reliable_exchange} under a recovery label). *)
+val note_overhead : t -> float -> unit
+
 (** {1 Accounting} *)
 
 val rounds : t -> float
 val messages : t -> int
 val words : t -> int
 
+(** [retransmits t] counts packets retransmitted by the reliable layer. *)
+val retransmits : t -> int
+
+(** [dropped t] counts transmission attempts that failed (dropped by the
+    injector, or addressed to/from a crashed machine). *)
+val dropped : t -> int
+
+(** [overhead_rounds t] is the total rounds booked for fault recovery
+    (retransmission waves, backoff waits, straggler delays) — the metered
+    price of running over an unreliable network. *)
+val overhead_rounds : t -> float
+
 (** [ledger t] is the per-label (rounds, messages, words) breakdown, sorted
-    by descending rounds. *)
+    by descending rounds with ties broken by label (deterministic across
+    runs). *)
 val ledger : t -> (string * float * int * int) list
 
-(** [reset t] zeroes all counters. *)
+(** [reset t] zeroes all counters — the totals, the fault-overhead counters,
+    and every per-label entry. *)
 val reset : t -> unit
 
 (** [words_for_bits t bits] is the number of O(log n)-bit words needed to

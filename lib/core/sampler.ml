@@ -1,6 +1,7 @@
 module Graph = Cc_graph.Graph
 module Tree = Cc_graph.Tree
 module Net = Cc_clique.Net
+module Fault = Cc_clique.Fault
 module Matmul = Cc_clique.Matmul
 module Mat = Cc_linalg.Mat
 module Prng = Cc_util.Prng
@@ -43,6 +44,7 @@ type result = {
   rounds : float;
   walk_total : int;
   phase_stats : Phase_walk.stats list;
+  health : Fault.health;
 }
 
 let next_pow2 x =
@@ -80,12 +82,87 @@ let charge_schur_pipeline net backend ~k =
     (Float.of_int squarings *. Matmul.mul_cost net backend ~dim:(2 * n));
   Net.charge net ~label:"schur normalize" (Matmul.mul_cost net backend ~dim:n)
 
-let sample ?(config = default_config) net prng g =
+exception Degrade of Fault.failure
+
+let sample ?(config = default_config) ?faults net prng g =
   let n = Graph.n g in
   if Net.n net <> n then invalid_arg "Sampler.sample: net size must equal n";
   if not (Graph.is_connected g) then
     invalid_arg "Sampler.sample: graph must be connected";
+  let faults = match faults with Some _ as f -> f | None -> Net.faults net in
+  let before_stats =
+    match faults with Some f -> Fault.snapshot f | None -> (0, 0, 0)
+  in
   let rounds_before = Net.rounds net in
+  (* The Schur powering pipeline needs every machine's row block, so a
+     crash-stop failure anywhere is unrecoverable for the distributed
+     pipeline; the run degrades to the sequential baseline instead. *)
+  let check_alive () =
+    match faults with
+    | Some f when Fault.any_crashed f ->
+        raise
+          (Degrade
+             {
+               reason = "machine crashed: the Schur pipeline needs every machine";
+               crashed = Fault.crashed f;
+             })
+    | _ -> ()
+  in
+  (* Deliver [packets] through the retransmitting transport. Corrupted
+     payloads are caught by the application checksum: the holder recomputes
+     the piece from its local state and re-sends, metered under [:retry].
+     [Lost] means an endpoint crashed (transport retries exhaust only at
+     astronomically unlikely drop streaks) — degrade. *)
+  let heal ~label ~recompute_rounds packets =
+    match faults with
+    | None -> Net.exchange net ~label packets
+    | Some f ->
+        let dv = Net.reliable_exchange net ~label packets in
+        let corrupted =
+          Array.fold_left
+            (fun acc d -> if d = Net.Corrupted then acc + 1 else acc)
+            0 dv
+        in
+        if corrupted > 0 then begin
+          Net.charge_overhead net ~label:(label ^ ":retry")
+            (Float.of_int corrupted *. recompute_rounds);
+          Fault.note_retransmit f corrupted
+        end;
+        if Array.exists (( = ) Net.Lost) dv then begin
+          check_alive ();
+          raise
+            (Degrade
+               {
+                 reason = label ^ ": delivery failed after retries";
+                 crashed = Fault.crashed f;
+               })
+        end
+  in
+  (* Simulated pipeline traffic, only materialized under fault injection
+     (the fault-free cost is already folded into the analytic charges):
+     [matrix shares] is the ring exchange of row-block shares feeding each
+     squaring; [walk segments] collects the filled walk chunks at the
+     leader. Both give the injector concrete packets to break. *)
+  let heal_matrix_shares () =
+    match faults with
+    | None -> ()
+    | Some _ ->
+        check_alive ();
+        let words = Net.entry_words net in
+        heal ~label:"matrix shares" ~recompute_rounds:1.0
+          (List.init n (fun i -> { Net.src = i; dst = (i + 1) mod n; words }))
+  in
+  let heal_walk_segments walk_len =
+    match faults with
+    | None -> ()
+    | Some _ ->
+        check_alive ();
+        let chunk = max 1 ((walk_len + n - 1) / n) in
+        heal ~label:"walk segments"
+          ~recompute_rounds:(Float.of_int (max 1 (chunk / n)))
+          (List.init (n - 1) (fun i ->
+               { Net.src = i + 1; dst = 0; words = chunk }))
+  in
   let rho =
     match config.rho with
     | Some r -> max 2 (min r n)
@@ -119,8 +196,10 @@ let sample ?(config = default_config) net prng g =
     tree_edges := (u, v) :: !tree_edges
   in
 
+  try
   while !remaining > 0 do
     incr phases;
+    check_alive ();
     Log.debug (fun m ->
         m "phase %d: %d unvisited, walk at vertex %d" !phases !remaining !current);
     if !phases > max_phases then
@@ -139,6 +218,7 @@ let sample ?(config = default_config) net prng g =
       in
       stats_acc := stats :: !stats_acc;
       walk_total := !walk_total + Array.length walk - 1;
+      heal_walk_segments (Array.length walk);
       let fresh = ref [] in
       Array.iteri
         (fun idx v ->
@@ -148,7 +228,7 @@ let sample ?(config = default_config) net prng g =
           end)
         walk;
       (* M distributes the first-visit edges to the vertices' machines. *)
-      Net.exchange net ~label:"first-visit edges"
+      heal ~label:"first-visit edges" ~recompute_rounds:1.0
         (List.map (fun v -> { Net.src = 0; dst = v; words = 2 }) !fresh);
       current := walk.(Array.length walk - 1)
     end
@@ -170,6 +250,7 @@ let sample ?(config = default_config) net prng g =
             (Shortcut.approx ?bits:config.bits g ~in_s ~k, k)
       in
       charge_schur_pipeline net config.backend ~k:k_charge;
+      heal_matrix_shares ();
       let trans = sanitize_stochastic (Schur.transition_via_shortcut g q ~s) in
       let trans = if config.lazy_walk then lazy_mix trans else trans in
       let local_of = Hashtbl.create (Array.length s) in
@@ -184,7 +265,7 @@ let sample ?(config = default_config) net prng g =
         in
         let idx = Dist.sample_weights (Array.map snd weights) prng in
         claim (fst weights.(idx)) v;
-        Net.exchange net ~label:"first-visit edges"
+        heal ~label:"first-visit edges" ~recompute_rounds:1.0
           ({ Net.src = 0; dst = v; words = 2 }
           :: Array.to_list
                (Array.map
@@ -207,6 +288,7 @@ let sample ?(config = default_config) net prng g =
         in
         stats_acc := stats :: !stats_acc;
         walk_total := !walk_total + Array.length walk_local - 1;
+        heal_walk_segments (Array.length walk_local);
         let walk = Array.map (fun i -> s.(i)) walk_local in
         (* Algorithm 4: sample the G-entry edge of every newly visited
            vertex from Q[w_{i-1}, u] * w(u,v) / w_S(u) over neighbors u. *)
@@ -227,22 +309,50 @@ let sample ?(config = default_config) net prng g =
                 weights
             end)
           walk;
-        Net.exchange net ~label:"first-visit edges" !packets;
+        heal ~label:"first-visit edges" ~recompute_rounds:1.0 !packets;
         current := walk.(Array.length walk - 1)
       end
     end
   done;
   let tree = Tree.of_edges ~n !tree_edges in
   assert (Tree.is_spanning_tree g tree);
+  let health =
+    match faults with
+    | None -> Fault.Healthy
+    | Some f -> Fault.health_of f ~before:before_stats
+  in
   {
     tree;
     phases = !phases;
     rounds = Net.rounds net -. rounds_before;
     walk_total = !walk_total;
     phase_stats = List.rev !stats_acc;
+    health;
   }
+  with Degrade failure ->
+    (* Graceful degradation: the live machines ship the graph to the leader,
+       which runs the sequential phased sampler locally and distributes the
+       result — metered as a gather + broadcast of O(n^2) words. The tree is
+       still an exact sample; only the round complexity is lost. *)
+    Log.warn (fun m -> m "degrading to sequential sampler: %a" Fault.pp_health
+        (Fault.Unrecoverable failure));
+    let seq = Sequential.sample ?rho:config.rho ?target_len:config.target_len
+        ~lazy_walk:config.lazy_walk g prng
+    in
+    Net.charge_overhead net ~label:"sequential fallback:retry" (Float.of_int n);
+    {
+      tree = seq.Sequential.tree;
+      phases = !phases + seq.Sequential.phases;
+      rounds = Net.rounds net -. rounds_before;
+      walk_total = !walk_total + seq.Sequential.walk_total;
+      phase_stats = List.rev !stats_acc;
+      health = Fault.Unrecoverable failure;
+    }
 
-let sample_tree ?config ?(seed = 0) g =
+let sample_tree ?config ?faults ?(seed = 0) g =
   let net = Net.create ~n:(Graph.n g) in
+  let net =
+    match faults with Some f -> Net.with_faults f net | None -> net
+  in
   let prng = Prng.create ~seed in
   (sample ?config net prng g).tree

@@ -62,17 +62,44 @@ type result = {
   rounds : float;  (** rounds booked on the net by this sample. *)
   walk_total : int;  (** total length of the underlying walk across phases. *)
   phase_stats : Phase_walk.stats list;  (** chronological, one per phase. *)
+  health : Cc_clique.Fault.health;
+      (** fault-recovery outcome. [Healthy] on a clean run. [Healed]: drops
+          were retransmitted and corrupted matrix shares / walk segments
+          recomputed — the tree is exactly as trustworthy as a fault-free
+          sample. [Unrecoverable]: a machine crashed (the Schur pipeline
+          needs every machine), so the run degraded to {!Sequential.sample}
+          at the leader — the tree is still an exact sample, but the
+          sublinear round bound is lost. *)
 }
 
-(** [sample ?config net prng g] draws one spanning tree of the connected
-    graph [g]. [Net.n net] must equal the vertex count; the walk starts at
-    vertex 0 (the leader's vertex, as in Algorithm 1).
-    @raise Invalid_argument on disconnected input or clique size mismatch.
-    @raise Failure if [max_phases] is exhausted. *)
-val sample :
-  ?config:config -> Cc_clique.Net.t -> Cc_util.Prng.t -> Cc_graph.Graph.t -> result
+(** [sample ?config ?faults net prng g] draws one spanning tree of the
+    connected graph [g]. [Net.n net] must equal the vertex count; the walk
+    starts at vertex 0 (the leader's vertex, as in Algorithm 1).
 
-(** [sample_tree ?config ?seed g] is a self-contained convenience wrapper:
-    builds the net, samples, returns just the tree. *)
+    Under fault injection ([?faults], or a net armed via
+    {!Cc_clique.Net.with_faults}) the sampler self-heals: lost packets are
+    retransmitted by the transport, corrupted matrix shares and walk
+    segments are detected by checksums and recomputed (metered under
+    [":retry"] labels), and crash-stop failures degrade the run to the
+    sequential baseline with [health = Unrecoverable] — no exception
+    escapes for injected faults.
+    @raise Invalid_argument on disconnected input or clique size mismatch.
+    @raise Failure if [max_phases] is exhausted (a configuration error, not
+    an injected fault). *)
+val sample :
+  ?config:config ->
+  ?faults:Cc_clique.Fault.t ->
+  Cc_clique.Net.t ->
+  Cc_util.Prng.t ->
+  Cc_graph.Graph.t ->
+  result
+
+(** [sample_tree ?config ?faults ?seed g] is a self-contained convenience
+    wrapper: builds the net (armed with [?faults] if given), samples,
+    returns just the tree. *)
 val sample_tree :
-  ?config:config -> ?seed:int -> Cc_graph.Graph.t -> Cc_graph.Tree.t
+  ?config:config ->
+  ?faults:Cc_clique.Fault.t ->
+  ?seed:int ->
+  Cc_graph.Graph.t ->
+  Cc_graph.Tree.t

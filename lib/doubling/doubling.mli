@@ -21,7 +21,25 @@
     them against the Lemma 4 bound.
 
     As in the paper, walks originating at different vertices share randomness
-    (they are individually — not jointly — true random walks). *)
+    (they are individually — not jointly — true random walks).
+
+    {2 Fault tolerance}
+
+    When the net carries a {!Cc_clique.Fault.t} (or one is passed via
+    [?faults]), every iteration self-heals: the walks array acts as a
+    checkpoint that is only replaced once an iteration fully commits; tuples
+    lost to message drops or crash-stop failures are re-routed to the next
+    live machine (metered under [":retry"] ledger labels); payload corruption
+    is detected by application checksums and forces a re-run of the affected
+    iteration from the checkpoint; a crashed machine's state is adopted by
+    the next live machine from the replicated checkpoint. Re-running an
+    iteration is statistically safe because only the placement hash seed is
+    re-drawn — the walk randomness was fixed at initialization. If the
+    coordinator (machine 0) crashes, every machine crashes, or the recovery
+    budgets are exhausted, the run degrades gracefully: the returned walks
+    are regenerated with the step-by-step baseline (still exact random
+    walks, just slow) and [health] reports
+    {!Cc_clique.Fault.Unrecoverable} — no exception ever escapes. *)
 
 type scheme =
   | Load_balanced of { independence : int }
@@ -36,11 +54,19 @@ type result = {
       (** per iteration, the largest number of tuples any machine received in
           the placement steps (2-3) — the Lemma 4 observable. *)
   rounds : float;  (** total rounds booked on the net by this run. *)
+  health : Cc_clique.Fault.health;
+      (** fault-recovery outcome: [Healthy] on a clean run, [Healed] when
+          every injected fault was recovered (the walks are exactly as
+          trustworthy as a fault-free run), [Unrecoverable] when the run
+          degraded to the sequential baseline walks. *)
 }
 
-(** [run net prng g ~tau ~scheme] builds length-tau walks for every vertex.
-    [Net.n net] must equal the vertex count. *)
+(** [run ?faults net prng g ~tau ~scheme] builds length-tau walks for every
+    vertex. [Net.n net] must equal the vertex count. [?faults] overrides the
+    injector the net was armed with ({!Cc_clique.Net.with_faults}); by
+    default the net's own injector (if any) is used. *)
 val run :
+  ?faults:Cc_clique.Fault.t ->
   Cc_clique.Net.t ->
   Cc_util.Prng.t ->
   Cc_graph.Graph.t ->
@@ -60,8 +86,11 @@ val lemma4_bound : n:int -> k:int -> c:float -> float
     Corollary 1: build a length-tau walk by doubling and apply Aldous–Broder
     first-visit edges; if the walk does not cover the graph, double tau and
     retry (fresh randomness), starting from [tau0]. Returns the tree and the
-    final tau used. *)
+    total number of walk steps consumed. Under fault injection each doubling
+    run self-heals (see {!run}); a degraded run still yields exact walks, so
+    the returned tree remains a valid Aldous–Broder sample. *)
 val sample_tree :
+  ?faults:Cc_clique.Fault.t ->
   Cc_clique.Net.t ->
   Cc_util.Prng.t ->
   Cc_graph.Graph.t ->
@@ -74,6 +103,7 @@ val sample_tree :
     length-[O(log n / epsilon)] walks by doubling and histograms the
     geometric-time positions. Returns the normalized estimate. *)
 val pagerank :
+  ?faults:Cc_clique.Fault.t ->
   Cc_clique.Net.t ->
   Cc_util.Prng.t ->
   Cc_graph.Graph.t ->

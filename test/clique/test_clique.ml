@@ -72,12 +72,31 @@ let test_ledger_breakdown () =
   in
   Alcotest.(check (option (float 0.001))) "b cost" (Some 2.0) b_rounds
 
+let test_ledger_tie_order () =
+  (* Equal-round labels must come out sorted by label, not Hashtbl order. *)
+  let net = Net.create ~n:4 in
+  List.iter
+    (fun label -> Net.exchange net ~label [ { Net.src = 0; dst = 1; words = 1 } ])
+    [ "zeta"; "alpha"; "mid" ];
+  Alcotest.(check (list string)) "ties sorted by label"
+    [ "alpha"; "mid"; "zeta" ]
+    (List.map (fun (l, _, _, _) -> l) (Net.ledger net));
+  (* Rounds still dominate the order. *)
+  Net.exchange net ~label:"alpha" [ { Net.src = 0; dst = 1; words = 8 } ];
+  Alcotest.(check string) "highest rounds first" "alpha"
+    (match Net.ledger net with (l, _, _, _) :: _ -> l | [] -> "")
+
 let test_reset () =
   let net = Net.create ~n:4 in
   Net.exchange net ~label:"t" [ { Net.src = 0; dst = 1; words = 5 } ];
   Net.reset net;
   check_rounds "after reset" 0.0 net;
-  Alcotest.(check int) "messages" 0 (Net.messages net)
+  Alcotest.(check int) "messages" 0 (Net.messages net);
+  Alcotest.(check int) "words" 0 (Net.words net);
+  (* The per-label entries are dropped too, not just the totals. *)
+  Alcotest.(check int) "per-label ledger empty" 0 (List.length (Net.ledger net));
+  Net.exchange net ~label:"t" [ { Net.src = 0; dst = 1; words = 5 } ];
+  Alcotest.(check int) "usable after reset" 1 (List.length (Net.ledger net))
 
 (* --- broadcast / all_to_all / aggregate --- *)
 
@@ -230,19 +249,33 @@ let qcheck_tests =
               else None)
           raw
         in
+        (* Force the free-packet edge cases into every instance: src = dst
+           traffic (local memory) and zero-word packets cost nothing and
+           count nothing. *)
+        let packets =
+          { Net.src = 0; dst = 0; words = 17 }
+          :: { Net.src = 0; dst = n - 1; words = 0 }
+          :: { Net.src = n - 1; dst = n - 1; words = 0 }
+          :: packets
+        in
         let net = Net.create ~n in
         Net.exchange net ~label:"t" packets;
         let sent = Array.make n 0 and recv = Array.make n 0 in
+        let msgs = ref 0 and wtotal = ref 0 in
         List.iter
           (fun { Net.src; dst; words } ->
-            if src <> dst then begin
+            if src <> dst && words > 0 then begin
               sent.(src) <- sent.(src) + words;
-              recv.(dst) <- recv.(dst) + words
+              recv.(dst) <- recv.(dst) + words;
+              incr msgs;
+              wtotal := !wtotal + words
             end)
           packets;
         let load = Array.fold_left max 0 (Array.append sent recv) in
         let expected = if load = 0 then 0.0 else float_of_int ((load + n - 1) / n) in
-        feq expected (Net.rounds net));
+        feq expected (Net.rounds net)
+        && Net.messages net = !msgs
+        && Net.words net = !wtotal);
     Test.make ~name:"matmul backends compute the same product" ~count:20
       (make Gen.(pair (int_range 2 10) (int_range 0 1000)))
       (fun (n, seed) ->
@@ -266,6 +299,7 @@ let () =
           Alcotest.test_case "self messages" `Quick test_self_messages_free;
           Alcotest.test_case "validation" `Quick test_exchange_validation;
           Alcotest.test_case "ledger" `Quick test_ledger_breakdown;
+          Alcotest.test_case "ledger tie order" `Quick test_ledger_tie_order;
           Alcotest.test_case "reset" `Quick test_reset;
         ] );
       ( "collectives",

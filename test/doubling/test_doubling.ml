@@ -8,6 +8,7 @@ module Tree = Cc_graph.Tree
 module Walk = Cc_walks.Walk
 module Doubling = Cc_doubling.Doubling
 module Net = Cc_clique.Net
+module Fault = Cc_clique.Fault
 module Prng = Cc_util.Prng
 module Dist = Cc_util.Dist
 module Stats = Cc_util.Stats
@@ -128,6 +129,93 @@ let test_doubling_deterministic_given_seed () =
   in
   Alcotest.(check bool) "same seed, same walks" true (run 9 = run 9);
   Alcotest.(check bool) "different seeds differ" true (run 9 <> run 10)
+
+(* --- fault tolerance --- *)
+
+let check_walks_valid g tau r =
+  Array.iteri
+    (fun v w ->
+      Alcotest.(check int) "length" (tau + 1) (Array.length w);
+      Alcotest.(check int) "starts at v" v w.(0);
+      for i = 1 to Array.length w - 1 do
+        if not (Graph.has_edge g w.(i - 1) w.(i)) then
+          Alcotest.failf "vertex %d step %d invalid under faults" v i
+      done)
+    r.Doubling.walks
+
+let run_faulty ?(seed = 1) spec g tau =
+  let n = Graph.n g in
+  let net = Net.with_faults (Fault.create spec) (Net.create ~n) in
+  let prng = Prng.create ~seed in
+  (Doubling.run net prng g ~tau ~scheme:(scheme_lb n), net)
+
+let test_faulty_drops_heal () =
+  let g = Gen.cycle 12 in
+  let r, net = run_faulty (Fault.spec ~drop_prob:0.1 ~seed:3 ()) g 16 in
+  check_walks_valid g 16 r;
+  (match r.Doubling.health with
+  | Fault.Healed { retransmits; _ } ->
+      Alcotest.(check bool) "retransmits counted" true (retransmits > 0)
+  | h -> Alcotest.failf "expected Healed, got %a" Fault.pp_health h);
+  let labels = List.map (fun (l, _, _, _) -> l) (Net.ledger net) in
+  Alcotest.(check bool) "retry labels in ledger" true
+    (List.exists
+       (fun l -> String.length l > 6 && Filename.check_suffix l ":retry")
+       labels);
+  Alcotest.(check bool) "overhead metered" true (Net.overhead_rounds net > 0.0)
+
+let test_faulty_walks_match_fault_free () =
+  (* The fault stream must not perturb the algorithm's randomness: healed
+     walks are bit-identical to the fault-free run at the same seed. *)
+  let g = Gen.cycle 12 in
+  let clean = run_walks ~seed:4 g 16 in
+  let healed, _ = run_faulty ~seed:4 (Fault.spec ~drop_prob:0.1 ~seed:5 ()) g 16 in
+  Alcotest.(check bool) "identical walks" true
+    (clean.Doubling.walks = healed.Doubling.walks)
+
+let test_noncoordinator_crash_recovers () =
+  (* Any single non-coordinator crash must yield a correct (recovered or
+     gracefully degraded) result; an exception is the only failure mode. *)
+  let g = Gen.cycle 10 in
+  for victim = 1 to 9 do
+    let spec = Fault.spec ~crashes:[ (victim, 2.0) ] ~seed:victim () in
+    let r, _ = run_faulty ~seed:8 spec g 16 in
+    check_walks_valid g 16 r;
+    match r.Doubling.health with
+    | Fault.Healthy -> ()  (* crash fired after the last iteration *)
+    | Fault.Healed { reroutes; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "victim %d rerouted" victim)
+          true (reroutes > 0)
+    | Fault.Unrecoverable _ as h ->
+        Alcotest.failf "single non-coordinator crash degraded: %a"
+          Fault.pp_health h
+  done
+
+let test_coordinator_crash_degrades_structurally () =
+  let g = Gen.cycle 10 in
+  let spec = Fault.spec ~crashes:[ (0, 1.0) ] () in
+  let r, net = run_faulty ~seed:2 spec g 16 in
+  (* Never an exception: valid fallback walks + structured failure. *)
+  check_walks_valid g 16 r;
+  (match r.Doubling.health with
+  | Fault.Unrecoverable { crashed; _ } ->
+      Alcotest.(check (list int)) "names the crash" [ 0 ] crashed
+  | h -> Alcotest.failf "expected Unrecoverable, got %a" Fault.pp_health h);
+  Alcotest.(check bool) "fallback metered as overhead" true
+    (Net.overhead_rounds net > 0.0)
+
+let test_fault_seed_determinism () =
+  let g = Gen.cycle 12 in
+  let go () =
+    let r, net =
+      run_faulty ~seed:4
+        (Fault.spec ~drop_prob:0.1 ~corrupt_prob:0.02 ~seed:9 ())
+        g 16
+    in
+    (r.Doubling.walks, r.Doubling.health, Net.ledger net, Net.retransmits net)
+  in
+  Alcotest.(check bool) "bit-identical reruns" true (go () = go ())
 
 (* --- load balancing (Lemma 4) --- *)
 
@@ -285,6 +373,14 @@ let () =
           Alcotest.test_case "unbalanced valid" `Quick test_unbalanced_walks_also_valid;
           Alcotest.test_case "suffix sharing" `Quick test_walks_share_randomness_but_each_is_valid;
           Alcotest.test_case "determinism" `Quick test_doubling_deterministic_given_seed;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drops heal" `Quick test_faulty_drops_heal;
+          Alcotest.test_case "healed = fault-free walks" `Quick test_faulty_walks_match_fault_free;
+          Alcotest.test_case "non-coordinator crash" `Quick test_noncoordinator_crash_recovers;
+          Alcotest.test_case "coordinator crash degrades" `Quick test_coordinator_crash_degrades_structurally;
+          Alcotest.test_case "fault-seed determinism" `Quick test_fault_seed_determinism;
         ] );
       ( "distribution",
         [

@@ -13,6 +13,7 @@ module Gen = Cc_graph.Gen
 module Tree = Cc_graph.Tree
 module Walk = Cc_walks.Walk
 module Net = Cc_clique.Net
+module Fault = Cc_clique.Fault
 module Matmul = Cc_clique.Matmul
 module Prng = Cc_util.Prng
 module Dist = Cc_util.Dist
@@ -336,6 +337,91 @@ let test_weighted_marginals_match_leverage () =
   Alcotest.(check bool) (Printf.sprintf "weighted marginal gap %.4f" gap) true
     (gap < tol)
 
+(* --- fault tolerance --- *)
+
+let test_faulty_sampler_heals_drops () =
+  let g = Gen.complete 6 in
+  let f = Fault.create (Fault.spec ~drop_prob:0.1 ~seed:31 ()) in
+  let net = Net.with_faults f (Net.create ~n:6) in
+  let prng = Prng.create ~seed:31 in
+  let healed = ref false in
+  for _ = 1 to 5 do
+    let r = Sampler.sample net prng g in
+    Alcotest.(check bool) "spanning tree under drops" true
+      (Tree.is_spanning_tree g r.Sampler.tree);
+    match r.Sampler.health with
+    | Fault.Healthy -> ()
+    | Fault.Healed _ -> healed := true
+    | Fault.Unrecoverable _ as h ->
+        Alcotest.failf "drops alone degraded the sampler: %a" Fault.pp_health h
+  done;
+  Alcotest.(check bool) "at least one run actually healed" true !healed;
+  let labels = List.map (fun (l, _, _, _) -> l) (Net.ledger net) in
+  Alcotest.(check bool) "retry labels in ledger" true
+    (List.exists (fun l -> Filename.check_suffix l ":retry") labels)
+
+let test_faulty_sampler_heals_corruption () =
+  let g = Gen.complete 6 in
+  let f = Fault.create (Fault.spec ~corrupt_prob:0.05 ~seed:32 ()) in
+  let net = Net.with_faults f (Net.create ~n:6) in
+  let prng = Prng.create ~seed:32 in
+  let r = Sampler.sample net prng g in
+  Alcotest.(check bool) "spanning tree under corruption" true
+    (Tree.is_spanning_tree g r.Sampler.tree);
+  (match r.Sampler.health with
+  | Fault.Healthy | Fault.Healed _ -> ()
+  | Fault.Unrecoverable _ as h ->
+      Alcotest.failf "corruption alone degraded the sampler: %a" Fault.pp_health h)
+
+let test_crash_degrades_to_sequential () =
+  let g = Gen.complete 8 in
+  let f = Fault.create (Fault.spec ~crashes:[ (3, 1.0) ] ()) in
+  let net = Net.with_faults f (Net.create ~n:8) in
+  let prng = Prng.create ~seed:33 in
+  (* Never an exception: a structured Unrecoverable plus a valid tree from
+     the sequential fallback. *)
+  let r = Sampler.sample net prng g in
+  Alcotest.(check bool) "fallback tree is spanning" true
+    (Tree.is_spanning_tree g r.Sampler.tree);
+  (match r.Sampler.health with
+  | Fault.Unrecoverable { crashed; _ } ->
+      Alcotest.(check (list int)) "names the crash" [ 3 ] crashed
+  | h -> Alcotest.failf "expected Unrecoverable, got %a" Fault.pp_health h);
+  Alcotest.(check bool) "fallback metered as overhead" true
+    (Net.overhead_rounds net > 0.0)
+
+let test_faulty_sampler_deterministic () =
+  let g = Gen.lollipop ~clique:4 ~tail:3 in
+  let go () =
+    let f = Fault.create (Fault.spec ~drop_prob:0.1 ~corrupt_prob:0.02 ~seed:7 ()) in
+    let net = Net.with_faults f (Net.create ~n:7) in
+    let r = Sampler.sample net (Prng.create ~seed:42) g in
+    (Tree.edges r.Sampler.tree, r.Sampler.health, Net.ledger net,
+     Net.retransmits net, Net.dropped net)
+  in
+  Alcotest.(check bool) "bit-identical tree, ledger, counters" true
+    (go () = go ())
+
+let test_faulty_uniform_k4 () =
+  (* Acceptance bar: healing must not bias the tree law. Same tolerance as
+     the fault-free uniformity checks. *)
+  let g = Gen.complete 4 in
+  let trees, lookup = Tree.index g in
+  let counts = Array.make (Array.length trees) 0 in
+  let f = Fault.create (Fault.spec ~drop_prob:0.1 ~corrupt_prob:0.01 ~seed:34 ()) in
+  let net = Net.with_faults f (Net.create ~n:4) in
+  let prng = Prng.create ~seed:34 in
+  let trials = 4_000 in
+  for _ = 1 to trials do
+    let r = Sampler.sample net prng g in
+    counts.(lookup r.Sampler.tree) <- counts.(lookup r.Sampler.tree) + 1
+  done;
+  let tv = Dist.tv_counts ~counts (Dist.uniform 16) in
+  let floor = 3.0 *. Stats.tv_noise_floor ~samples:trials ~support:16 +. 0.01 in
+  Alcotest.(check bool)
+    (Printf.sprintf "faulty K4 tv %.4f < %.4f" tv floor)
+    true (tv < floor)
+
 (* --- Sequential phased sampler (Section 1.2) --- *)
 
 let test_sequential_produces_spanning_trees () =
@@ -512,6 +598,14 @@ let () =
           Alcotest.test_case "tiny target_len" `Quick test_tiny_target_len_still_terminates;
           Alcotest.test_case "max_phases raises" `Quick test_max_phases_exhaustion_raises;
           Alcotest.test_case "weighted marginals" `Slow test_weighted_marginals_match_leverage;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "heals drops" `Quick test_faulty_sampler_heals_drops;
+          Alcotest.test_case "heals corruption" `Quick test_faulty_sampler_heals_corruption;
+          Alcotest.test_case "crash degrades to sequential" `Quick test_crash_degrades_to_sequential;
+          Alcotest.test_case "fault-seed determinism" `Quick test_faulty_sampler_deterministic;
+          Alcotest.test_case "K4 uniform under faults" `Slow test_faulty_uniform_k4;
         ] );
       ( "sequential",
         [
