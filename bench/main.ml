@@ -23,7 +23,9 @@
      dune exec bench/main.exe                 -- all experiments
      dune exec bench/main.exe -- -e E3        -- one experiment
      dune exec bench/main.exe -- --fast       -- smaller ladders
-     dune exec bench/main.exe -- --micro      -- bechamel microbenchmarks too *)
+     dune exec bench/main.exe -- --micro      -- bechamel microbenchmarks too
+     dune exec bench/main.exe -- --json F     -- also write the rows to F
+                                                (see Report; schema cc-bench/1) *)
 
 module Graph = Cc_graph.Graph
 module Gen = Cc_graph.Gen
@@ -52,6 +54,7 @@ let micro = ref false
 let wants id = !selected = [] || List.mem id !selected
 
 let section id title =
+  Report.set_title ~id ~title;
   Printf.printf "\n======================================================\n";
   Printf.printf "%s — %s\n" id title;
   Printf.printf "======================================================\n%!"
@@ -86,6 +89,16 @@ let e1 () =
             if low_regime then log_tau
             else float_of_int tau /. float_of_int n *. log_tau *. log_n
           in
+          Report.record ~id:"E1"
+            ~params:
+              [
+                ("n", Report.int n);
+                ("tau", Report.int tau);
+                ( "regime",
+                  Report.str (if low_regime then "log tau" else "tau/n polylog")
+                );
+              ]
+            ~bound r.Doubling.rounds;
           Table.add_row table
             [
               Table.cell_int n;
@@ -136,6 +149,16 @@ let e2 () =
   Array.iteri
     (fun i load_lb ->
       let k = k0 / (1 lsl i) in
+      Report.record ~id:"E2"
+        ~params:
+          [
+            ("n", Report.int n);
+            ("iteration", Report.int (i + 1));
+            ("k", Report.int k);
+          ]
+        ~bound:(Doubling.lemma4_bound ~n ~k ~c:1.0)
+        ~extra:[ ("unbalanced", Report.int ub.(i)) ]
+        (float_of_int load_lb);
       Table.add_row table
         [
           Table.cell_int (i + 1);
@@ -179,6 +202,15 @@ let e3 () =
       xs := nf :: !xs;
       ys := r.Sampler.rounds :: !ys;
       naives := naive :: !naives;
+      Report.record ~id:"E3"
+        ~params:[ ("n", Report.int n); ("family", Report.str "lollipop") ]
+        ~bound:normal
+        ~extra:
+          [
+            ("phases", Report.int r.Sampler.phases);
+            ("naive_rounds", Report.flt naive);
+          ]
+        r.Sampler.rounds;
       Table.add_row table
         [
           Table.cell_int n;
@@ -198,6 +230,13 @@ let e3 () =
       (Array.mapi (fun i y -> y /. (Float.log2 xs.(i) ** 2.0)) ys)
   in
   let exp_naive, _ = Stats.fit_power xs (Array.of_list (List.rev !naives)) in
+  Report.record ~id:"E3"
+    ~params:[ ("metric", Report.str "fitted exponent, rounds/log^2 n") ]
+    ~bound:0.658 exp_norm;
+  Report.record ~id:"E3"
+    ~params:[ ("metric", Report.str "fitted exponent, naive cover rounds") ]
+    ~extra:[ ("raw_sampler_exponent", Report.flt exp_meas) ]
+    exp_naive;
   Printf.printf
     "fitted exponents: sampler rounds ~ n^%.2f raw, ~ n^%.2f after dividing\n\
      out log^2 n (paper: n^0.658 polylog); naive cover-time rounds ~ n^%.2f\n\
@@ -238,6 +277,11 @@ let e4 () =
           let net = Net.create ~n in
           let _, walk_len = Doubling.sample_tree net prng g ~tau0:(2 * n) in
           let l3 = Float.log2 (float_of_int n) ** 3.0 in
+          Report.record ~id:"E4"
+            ~params:[ ("family", Report.str name); ("n", Report.int n) ]
+            ~bound:l3
+            ~extra:[ ("walk_length", Report.int walk_len) ]
+            (Net.rounds net);
           Table.add_row table
             [
               name;
@@ -316,6 +360,15 @@ let e5 () =
           done;
           let tv = Dist.tv_counts ~counts target in
           let floor = 3.0 *. Stats.tv_noise_floor ~samples:trials ~support in
+          Report.record ~id:"E5"
+            ~params:
+              [
+                ("graph", Report.str gname);
+                ("sampler", Report.str sname);
+                ("trials", Report.int trials);
+                ("support", Report.int support);
+              ]
+            ~bound:floor tv;
           Table.add_row table
             [
               gname;
@@ -359,6 +412,12 @@ let e6 () =
           let approx = Fixed.rounded_power ~bits p k in
           let err = Mat.max_subtractive_error ~exact ~approx in
           let overshoot = Mat.max_subtractive_error ~exact:approx ~approx:exact in
+          Report.record ~id:"E6"
+            ~params:[ ("bits", Report.int bits); ("k", Report.int k) ]
+            ~bound:(Fixed.lemma3_error_bound ~n ~k ~bits)
+            ~extra:
+              [ ("one_sided", Cc_obs.Json.Bool (overshoot <= 1e-12)) ]
+            err;
           Table.add_row table
             [
               Table.cell_int bits;
@@ -402,6 +461,10 @@ let e7 () =
     (fun k ->
       let q = Shortcut.approx g ~in_s ~k in
       let sc = Schur.approx g ~s ~k in
+      Report.record ~id:"E7"
+        ~params:[ ("n", Report.int n); ("k", Report.int k) ]
+        ~extra:[ ("schur_max_err", Report.flt (Mat.max_abs_diff sc schur_exact)) ]
+        (Mat.max_abs_diff q q_exact);
       Table.add_row table
         [
           Table.cell_int k;
@@ -441,6 +504,10 @@ let e8 () =
       if Float.abs (Mat.get q u v -. expected) > 1e-9 then ok := false
     done
   done;
+  Report.record ~id:"E8"
+    ~params:[ ("check", Report.str "Figure 2 entrywise match") ]
+    ~bound:1.0
+    (if !ok then 1.0 else 0.0);
   Printf.printf "entrywise match with Figure 2: %s\n" (if !ok then "PASS" else "FAIL")
 
 (* ---------------------------------------------------------------- E9 --- *)
@@ -484,6 +551,14 @@ let e9 () =
           let prng = Prng.create ~seed:9 in
           let g = make prng n in
           let cover = Walk.mean_cover_time g prng ~trials in
+          Report.record ~id:"E9"
+            ~params:
+              [
+                ("family", Report.str name);
+                ("claimed", Report.str claim);
+                ("n", Report.int n);
+              ]
+            ~bound:(bound n) cover;
           Table.add_row table
             [
               name; claim; Table.cell_int n;
@@ -533,6 +608,14 @@ let e10 () =
         Array.fold_left Float.max 0.0
           (Array.mapi (fun i x -> Float.abs (x -. exact.(i))) est)
       in
+      Report.record ~id:"E10"
+        ~params:[ ("n", Report.int n); ("walks_per_vertex", Report.int walks) ]
+        ~extra:
+          [
+            ("rounds", Report.flt (Net.rounds net));
+            ("max_abs_error", Report.flt linf);
+          ]
+        l1;
       Table.add_row table
         [
           Table.cell_int walks;
@@ -608,6 +691,10 @@ let f1 () =
   Printf.printf
     "\nW_i+1 after matching-based placement (midpoints re-sampled into slots):\n  %s\n"
     (String.concat " " (Array.to_list (Array.map string_of_int filled)));
+  Report.record ~id:"F1"
+    ~params:[ ("check", Report.str "Figure 1 pipeline, filled walk length") ]
+    ~bound:(float_of_int ((2 * Array.length walk) - 1))
+    (float_of_int (Array.length filled));
   print_endline
     "\n(The placement is drawn proportional to the product of Formula 1\n\
      weights — Theorem 3 shows this reproduces the true conditional law of\n\
@@ -646,6 +733,18 @@ let f2 () =
       in
       let total = Net.rounds net in
       let overhead = Net.overhead_rounds net in
+      Report.record ~id:"F2"
+        ~params:[ ("n", Report.int n); ("drop_prob", Report.flt drop_prob) ]
+        ~bound:total
+        ~extra:
+          [
+            ("retransmits", Report.int (Net.retransmits net));
+            ("dropped", Report.int (Net.dropped net));
+            ( "health",
+              Report.str (Format.asprintf "%a" Fault.pp_health r.Doubling.health)
+            );
+          ]
+        overhead;
       Table.add_row table
         [
           Table.cell_float ~decimals:2 drop_prob;
@@ -699,6 +798,16 @@ let e11 () =
       ignore (Doubling.sample_tree net_d prng g ~tau0:n);
       let net_s = Net.create ~n in
       let r = Sampler.sample net_s prng g in
+      Report.record ~id:"E11"
+        ~params:[ ("n", Report.int n) ]
+        ~extra:
+          [
+            ("congest_naive", Report.flt naive.Cc_congest.Congest_walk.rounds);
+            ( "congest_stitched",
+              Report.flt stitched.Cc_congest.Congest_walk.rounds );
+            ("clique_doubling", Report.flt (Net.rounds net_d));
+          ]
+        r.Sampler.rounds;
       Table.add_row table
         [
           Table.cell_int n;
@@ -736,6 +845,16 @@ let a1 () =
     (fun t ->
       let h = Cc_apps.Sparsifier.union prng sampler g ~trees:t ~reweight:true in
       let q = Cc_apps.Sparsifier.evaluate prng g h ~probes:200 in
+      Report.record ~id:"A1"
+        ~params:[ ("n", Report.int n); ("trees", Report.int t) ]
+        ~extra:
+          [
+            ("cut_ratio_min", Report.flt q.Cc_apps.Sparsifier.cut_ratio_min);
+            ("cut_ratio_max", Report.flt q.Cc_apps.Sparsifier.cut_ratio_max);
+            ("rayleigh_min", Report.flt q.Cc_apps.Sparsifier.rayleigh_min);
+            ("rayleigh_max", Report.flt q.Cc_apps.Sparsifier.rayleigh_max);
+          ]
+        (float_of_int q.Cc_apps.Sparsifier.edges_kept);
       Table.add_row table
         [
           Table.cell_int t;
@@ -788,6 +907,11 @@ let a2 () =
       let t0 = Unix.gettimeofday () in
       let gap = Cc_walks.Determinantal.max_marginal_gap g ~trials sampler in
       let dt = (Unix.gettimeofday () -. t0) /. float_of_int trials in
+      Report.record ~id:"A2"
+        ~params:[ ("sampler", Report.str name); ("trials", Report.int trials) ]
+        ~bound:tol
+        ~extra:[ ("time_per_sample_s", Report.flt dt) ]
+        gap;
       let time_cell =
         if dt > 1.0 then Printf.sprintf "%.2f s" dt
         else if dt > 1e-3 then Printf.sprintf "%.2f ms" (dt *. 1e3)
@@ -840,6 +964,15 @@ let a3 () =
       let prng = Prng.create ~seed:23 in
       let t0 = Unix.gettimeofday () in
       let r = Sampler.sample ~config net prng g in
+      Report.record ~id:"A3"
+        ~params:[ ("configuration", Report.str name); ("n", Report.int n) ]
+        ~extra:
+          [
+            ("phases", Report.int r.Sampler.phases);
+            ("walk_length", Report.int r.Sampler.walk_total);
+            ("wall_s", Report.flt (Unix.gettimeofday () -. t0));
+          ]
+        r.Sampler.rounds;
       Table.add_row table
         [
           name;
@@ -865,24 +998,15 @@ let a4 () =
   let net = Net.create ~n in
   let prng = Prng.create ~seed:24 in
   let r = Sampler.sample net prng g in
-  let table =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "lollipop n=%d: %d phases, %.0f rounds total — per-primitive share"
-           n r.Sampler.phases r.Sampler.rounds)
-      ~columns:[ "primitive"; "rounds"; "share" ]
-  in
+  Printf.printf "lollipop n=%d: %d phases, %.0f rounds total\n" n
+    r.Sampler.phases r.Sampler.rounds;
   List.iter
     (fun (label, rounds, _, _) ->
-      Table.add_row table
-        [
-          label;
-          Table.cell_float ~decimals:0 rounds;
-          Printf.sprintf "%.1f%%" (100.0 *. rounds /. r.Sampler.rounds);
-        ])
+      Report.record ~id:"A4"
+        ~params:[ ("n", Report.int n); ("primitive", Report.str label) ]
+        ~bound:r.Sampler.rounds rounds)
     (Net.ledger net);
-  Table.print table;
+  Table.print (Net.ledger_table net);
   print_endline
     "Expected shape: the Schur/shortcut powering and the per-phase matrix\n\
      power tables dominate (the paper's \"matrix multiplication time per\n\
@@ -961,6 +1085,9 @@ let microbench () =
             else if nanos > 1e3 then Printf.sprintf "%.2f us" (nanos /. 1e3)
             else Printf.sprintf "%.0f ns" nanos
           in
+          Report.record ~id:"MICRO"
+            ~params:[ ("kernel", Report.str name) ]
+            nanos;
           Table.add_row table [ name; cell ])
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) (Benchmark.all cfg [ instance ] test) []))
     (List.map (fun t -> Test.make_grouped ~name:"k" [ t ]) tests);
@@ -980,27 +1107,43 @@ let () =
     | "-e" :: id :: rest ->
         selected := String.uppercase_ascii id :: !selected;
         parse rest
+    | "--json" :: file :: rest ->
+        Report.enable file;
+        parse rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   parse (List.tl (Array.to_list Sys.argv));
   Printf.printf
     "Congested Clique spanning-tree sampling — benchmark harness\n\
      (paper: Pemmaraju, Roy, Sobel, PODC 2025; see EXPERIMENTS.md)\n";
-  if wants "E1" then e1 ();
-  if wants "E2" then e2 ();
-  if wants "E3" then e3 ();
-  if wants "E4" then e4 ();
-  if wants "E5" then e5 ();
-  if wants "E6" then e6 ();
-  if wants "E7" then e7 ();
-  if wants "E8" then e8 ();
-  if wants "E9" then e9 ();
-  if wants "E10" then e10 ();
-  if wants "E11" then e11 ();
-  if wants "F1" then f1 ();
-  if wants "F2" then f2 ();
-  if wants "A1" then a1 ();
-  if wants "A2" then a2 ();
-  if wants "A3" then a3 ();
-  if wants "A4" then a4 ();
-  if !micro || List.mem "MICRO" !selected then microbench ()
+  let run_exp id f =
+    if wants id then begin
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Report.finish_experiment ~id ~wall_s:(Unix.gettimeofday () -. t0)
+    end
+  in
+  run_exp "E1" e1;
+  run_exp "E2" e2;
+  run_exp "E3" e3;
+  run_exp "E4" e4;
+  run_exp "E5" e5;
+  run_exp "E6" e6;
+  run_exp "E7" e7;
+  run_exp "E8" e8;
+  run_exp "E9" e9;
+  run_exp "E10" e10;
+  run_exp "E11" e11;
+  run_exp "F1" f1;
+  run_exp "F2" f2;
+  run_exp "A1" a1;
+  run_exp "A2" a2;
+  run_exp "A3" a3;
+  run_exp "A4" a4;
+  if !micro || List.mem "MICRO" !selected then begin
+    let t0 = Unix.gettimeofday () in
+    microbench ();
+    Report.finish_experiment ~id:"MICRO"
+      ~wall_s:(Unix.gettimeofday () -. t0)
+  end;
+  Report.write ~fast:!fast

@@ -1,0 +1,84 @@
+(* Machine-readable mirror of the benchmark tables.
+
+   When the harness runs with [--json FILE], every experiment appends
+   records here — one per table row, each carrying the experiment id, the
+   row's parameters, the measured value, the paper bound it is compared
+   against (when one exists), and their ratio — and the driver stamps each
+   experiment with its wall-clock time. Without [--json] every call is a
+   no-op, so the printed tables are byte-identical either way. *)
+
+module Json = Cc_obs.Json
+
+let path : string option ref = ref None
+let enable p = path := Some p
+let enabled () = !path <> None
+
+(* (id, title, wall seconds) in run order; records in reverse order. *)
+let experiments : (string * string * float) list ref = ref []
+let titles : (string, string) Hashtbl.t = Hashtbl.create 16
+let records : Json.t list ref = ref []
+
+let set_title ~id ~title = Hashtbl.replace titles id title
+
+let finish_experiment ~id ~wall_s =
+  if enabled () then
+    let title = Option.value ~default:"" (Hashtbl.find_opt titles id) in
+    experiments := (id, title, wall_s) :: !experiments
+
+(* [record ~id ~params ?bound ?extra measured] appends one data point.
+   [params] are (name, value) pairs identifying the row; [extra] carries
+   auxiliary measurements (counters, secondary errors) verbatim. *)
+let record ~id ~params ?bound ?(extra = []) measured =
+  if enabled () then begin
+    let base =
+      [
+        ("experiment", Json.String id);
+        ("params", Json.Obj params);
+        ("measured", Json.float_opt measured);
+      ]
+    in
+    let bound_fields =
+      match bound with
+      | None -> []
+      | Some b ->
+          [
+            ("bound", Json.float_opt b);
+            ( "ratio",
+              if b = 0.0 then Json.Null else Json.float_opt (measured /. b) );
+          ]
+    in
+    records := Json.Obj (base @ bound_fields @ extra) :: !records
+  end
+
+let str s = Json.String s
+let int i = Json.Int i
+let flt x = Json.float_opt x
+
+let write ~fast =
+  match !path with
+  | None -> ()
+  | Some file ->
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "cc-bench/1");
+            ("fast", Json.Bool fast);
+            ( "experiments",
+              Json.List
+                (List.rev_map
+                   (fun (id, title, wall_s) ->
+                     Json.Obj
+                       [
+                         ("id", Json.String id);
+                         ("title", Json.String title);
+                         ("wall_s", Json.float_opt wall_s);
+                       ])
+                   !experiments) );
+            ("records", Json.List (List.rev !records));
+            ("metrics", Cc_obs.Metrics.to_json ());
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (Json.to_string_pretty doc);
+      output_char oc '\n';
+      close_out oc

@@ -141,9 +141,68 @@ let arm_faults faults net =
   match faults with Some f -> Net.with_faults f net | None -> net
 
 let print_fault_summary faults net =
-  if faults <> None then
-    Printf.printf "# faults: %d retransmits, %d dropped, %.1f overhead rounds\n"
-      (Net.retransmits net) (Net.dropped net) (Net.overhead_rounds net)
+  if faults <> None then Format.printf "# %a@." Net.pp_fault_summary net
+
+(* --- observability options (shared by sample / doubling / pagerank) --- *)
+
+type obs = { trace_file : string option; trace_tree : bool; metrics : bool }
+
+let obs_t =
+  let trace_t =
+    let doc =
+      "Write a Chrome trace_event JSON of the run to $(docv) (load in \
+       chrome://tracing or Perfetto): one complete event per span, one \
+       instant event per metered Net primitive."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let tree_t =
+    let doc =
+      "Print the span tree (wall clock, allocation, rounds/messages/words \
+       per span) after the run."
+    in
+    Arg.(value & flag & info [ "trace-tree" ] ~doc)
+  in
+  let metrics_t =
+    let doc = "Print the metrics registry (counters/gauges/histograms)." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let combine trace_file trace_tree metrics = { trace_file; trace_tree; metrics } in
+  Term.(const combine $ trace_t $ tree_t $ metrics_t)
+
+(* Run [f] with a trace collector installed when requested, then write the
+   requested exports. Tracing never perturbs the run: spans and events only
+   observe the booked costs. *)
+let with_obs obs f =
+  let tr =
+    if obs.trace_file <> None || obs.trace_tree then
+      Some (Cc_obs.Trace.create ())
+    else None
+  in
+  (match tr with Some t -> Cc_obs.Trace.install t | None -> ());
+  let finish () =
+    Cc_obs.Trace.uninstall ();
+    (match tr with
+    | None -> ()
+    | Some t ->
+        (match obs.trace_file with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Cc_obs.Trace.to_chrome_json t);
+            close_out oc
+        | None -> ());
+        if obs.trace_tree then Format.printf "%a@?" Cc_obs.Trace.pp_tree t);
+    if obs.metrics then Format.printf "%a@?" Cc_obs.Metrics.pp ()
+  in
+  Fun.protect ~finally:finish f
+
+(* Exit code for a run whose health degraded to [Unrecoverable]: the tree is
+   still exact (sequential fallback), but the distributed pipeline gave up. *)
+let exit_unrecoverable = 3
+
+let exit_for_health = function
+  | Fault.Unrecoverable _ -> true
+  | Fault.Healthy | Fault.Healed _ -> false
 
 let load_graph ?weights ~family ~size ~file ~prng () =
   let g =
@@ -194,7 +253,7 @@ let sample_cmd =
     Arg.(value & opt string "cc" & info [ "method" ] ~doc)
   in
   let run seed verbose family size file weights trials ledger alpha bits method_
-      faults =
+      faults obs =
     setup_logs verbose;
     let prng = Prng.create ~seed in
     let g = load_graph ?weights ~family ~size ~file ~prng () in
@@ -207,6 +266,8 @@ let sample_cmd =
         bits;
       }
     in
+    let unrecoverable = ref false in
+    with_obs obs (fun () ->
     for t = 1 to trials do
       (match String.lowercase_ascii method_ with
       | "cc" ->
@@ -215,6 +276,7 @@ let sample_cmd =
             r.Sampler.phases r.Sampler.rounds r.Sampler.walk_total;
           if faults <> None then
             Format.printf "# health: %a@." Fault.pp_health r.Sampler.health;
+          if exit_for_health r.Sampler.health then unrecoverable := true;
           print_tree r.Sampler.tree
       | "sequential" ->
           let r = Cc_sampler.Sequential.sample g prng in
@@ -239,7 +301,8 @@ let sample_cmd =
       | m -> failwith ("unknown method: " ^ m))
     done;
     print_fault_summary faults net;
-    if ledger then Format.printf "%a@." Net.pp_ledger net
+    if ledger then Format.printf "%a@." Net.pp_ledger net);
+    if !unrecoverable then exit exit_unrecoverable
   in
   let info =
     Cmd.info "sample"
@@ -248,7 +311,7 @@ let sample_cmd =
   Cmd.v info
     Term.(
       const run $ seed_t $ verbose_t $ family_t $ size_t $ file_t $ weights_t
-      $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t $ faults_t)
+      $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t $ faults_t $ obs_t)
 
 (* --- doubling --- *)
 
@@ -256,17 +319,20 @@ let doubling_cmd =
   let tau_t =
     Arg.(value & opt int 0 & info [ "tau" ] ~doc:"Walk length (0 = sample a tree instead).")
   in
-  let run seed family size file tau faults =
+  let run seed family size file tau faults obs =
     let prng = Prng.create ~seed in
     let g = load_graph ~family ~size ~file ~prng () in
     let n = Graph.n g in
     let net = arm_faults faults (Net.create ~n) in
+    let unrecoverable = ref false in
+    with_obs obs (fun () ->
     if tau > 0 then begin
       let r = Doubling.run net prng g ~tau ~scheme:(Doubling.default_scheme ~n) in
       Printf.printf "# %d iterations, %.0f rounds; walk from vertex 0:\n"
         r.Doubling.iterations r.Doubling.rounds;
       if faults <> None then
         Format.printf "# health: %a@." Fault.pp_health r.Doubling.health;
+      if exit_for_health r.Doubling.health then unrecoverable := true;
       Array.iter (fun v -> Printf.printf "%d " v) r.Doubling.walks.(0);
       print_newline ()
     end
@@ -276,14 +342,17 @@ let doubling_cmd =
         (Net.rounds net) walk_len;
       print_tree tree
     end;
-    print_fault_summary faults net
+    print_fault_summary faults net);
+    if !unrecoverable then exit exit_unrecoverable
   in
   let info =
     Cmd.info "doubling"
       ~doc:"Load-balanced doubling walks and Corollary 1-2 tree sampling."
   in
   Cmd.v info
-    Term.(const run $ seed_t $ family_t $ size_t $ file_t $ tau_t $ faults_t)
+    Term.(
+      const run $ seed_t $ family_t $ size_t $ file_t $ tau_t $ faults_t
+      $ obs_t)
 
 (* --- walk --- *)
 

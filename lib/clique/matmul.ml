@@ -10,6 +10,11 @@ let default_alpha = 0.158
 
 let charged ?(alpha = default_alpha) ?(coeff = 1.0) () = Charged { alpha; coeff }
 
+let backend_name = function
+  | Charged _ -> "charged"
+  | Routed_broadcast -> "routed-broadcast"
+  | Routed_semiring -> "routed-semiring"
+
 let mul_cost net backend ~dim =
   let nf = Float.of_int (Net.n net) in
   let df = Float.of_int dim in
@@ -33,6 +38,11 @@ let mul net backend a b =
   let dim = Mat.rows a in
   if Mat.cols a <> dim || Mat.rows b <> dim || Mat.cols b <> dim then
     invalid_arg "Matmul.mul: operands must be square and equal-sized";
+  Cc_obs.Metrics.incr "matmul.muls";
+  Cc_obs.Trace.with_span "matmul.mul"
+    ~args:
+      [ ("dim", string_of_int dim); ("backend", backend_name backend) ]
+  @@ fun () ->
   (match backend with
   | Charged _ -> Net.charge net ~label:"matmul" (mul_cost net backend ~dim)
   | Routed_broadcast when dim = n ->
@@ -68,6 +78,14 @@ let power_table net backend ?bits m ~levels =
   if Mat.rows m <> Mat.cols m then
     invalid_arg "Matmul.power_table: matrix must be square";
   if levels < 0 then invalid_arg "Matmul.power_table: negative levels";
+  Cc_obs.Trace.with_span "matmul.power_table"
+    ~args:
+      [
+        ("dim", string_of_int (Mat.rows m));
+        ("levels", string_of_int levels);
+        ("backend", backend_name backend);
+      ]
+  @@ fun () ->
   let maybe_round x =
     match bits with None -> x | Some b -> Fixed.round_mat ~bits:b x
   in

@@ -43,6 +43,10 @@ val default_alpha : float
 (** [charged ()] is [Charged { alpha = default_alpha; coeff = 1.0 }]. *)
 val charged : ?alpha:float -> ?coeff:float -> unit -> backend
 
+(** [backend_name b] is a short stable name (["charged"],
+    ["routed-broadcast"], ["routed-semiring"]) for traces and reports. *)
+val backend_name : backend -> string
+
 (** [mul net backend a b] returns the product and books its rounds under
     label ["matmul"]. Operands need not be n x n: off-size products (the
     |S| x |S| Schur matrices of later phases, the 2n x 2n auxiliary chain)

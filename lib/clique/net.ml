@@ -1,5 +1,16 @@
 type entry = { mutable rounds : float; mutable messages : int; mutable words : int }
 
+type event_kind = Exchange | Broadcast | All_to_all | Aggregate | Charge
+
+type event = {
+  kind : event_kind;
+  label : string;
+  rounds : float;
+  messages : int;
+  words : int;
+  total_rounds : float;
+}
+
 type t = {
   n : int;
   mutable total_rounds : float;
@@ -10,6 +21,7 @@ type t = {
   mutable overhead_rounds : float;
   by_label : (string, entry) Hashtbl.t;
   mutable injected : Fault.t option;
+  mutable sink : (event -> unit) option;
 }
 
 let create ~n =
@@ -24,10 +36,19 @@ let create ~n =
     overhead_rounds = 0.0;
     by_label = Hashtbl.create 16;
     injected = None;
+    sink = None;
   }
 
 let n t = t.n
 let faults t = t.injected
+let set_sink t sink = t.sink <- sink
+
+let kind_name = function
+  | Exchange -> "exchange"
+  | Broadcast -> "broadcast"
+  | All_to_all -> "all_to_all"
+  | Aggregate -> "aggregate"
+  | Charge -> "charge"
 
 let with_faults f t =
   t.injected <- Some f;
@@ -43,7 +64,7 @@ let entry_for t label =
       Hashtbl.add t.by_label label e;
       e
 
-let book t ~label ~rounds ~messages ~words =
+let book t ~kind ~label ~rounds ~messages ~words =
   t.total_rounds <- t.total_rounds +. rounds;
   t.total_messages <- t.total_messages + messages;
   t.total_words <- t.total_words + words;
@@ -51,6 +72,15 @@ let book t ~label ~rounds ~messages ~words =
   e.rounds <- e.rounds +. rounds;
   e.messages <- e.messages + messages;
   e.words <- e.words + words;
+  (* Observability taps: a caller-installed sink and the active trace both
+     see every booked primitive. Pure observation — neither may (nor can,
+     through this interface) change the ledger or the fault schedule. *)
+  (match t.sink with
+  | Some f -> f { kind; label; rounds; messages; words; total_rounds = t.total_rounds }
+  | None -> ());
+  if Cc_obs.Trace.enabled () then
+    Cc_obs.Trace.net_event ~kind:(kind_name kind) ~label ~rounds ~messages
+      ~words ~round_clock:t.total_rounds;
   (* Crash-stop failures fire at round boundaries: booking a primitive ends
      its rounds, so scheduled crashes up to the new clock take effect now. *)
   match t.injected with
@@ -78,7 +108,7 @@ let exchange t ~label packets =
   done;
   if !load > 0 then
     let rounds = Float.of_int ((!load + t.n - 1) / t.n) in
-    book t ~label ~rounds ~messages:!messages ~words:!total_words
+    book t ~kind:Exchange ~label ~rounds ~messages:!messages ~words:!total_words
 
 let broadcast t ~label ~src ~words =
   if src < 0 || src >= t.n then invalid_arg "Net.broadcast: bad source";
@@ -92,13 +122,14 @@ let broadcast t ~label ~src ~words =
        the two-step tree's constant factor into the big-O (the same
        convention every other collective here uses). *)
     let rounds = Float.of_int (max 1 ((words + t.n - 1) / t.n)) in
-    book t ~label ~rounds ~messages:(t.n - 1) ~words:(words * (t.n - 1))
+    book t ~kind:Broadcast ~label ~rounds ~messages:(t.n - 1)
+      ~words:(words * (t.n - 1))
 
 let all_to_all t ~label ~words_each =
   if words_each < 0 then invalid_arg "Net.all_to_all: negative payload";
   if words_each > 0 then
     let messages = t.n * (t.n - 1) in
-    book t ~label
+    book t ~kind:All_to_all ~label
       ~rounds:(Float.of_int (max 1 words_each))
       ~messages ~words:(messages * words_each)
 
@@ -118,11 +149,11 @@ let aggregate t ~label ?(combinable = true) ~contributors ~dst words_each =
       if combinable then Float.of_int (max 1 ((words_each + t.n - 1) / t.n))
       else Float.of_int ((total + t.n - 1) / t.n)
     in
-    book t ~label ~rounds ~messages:k ~words:total
+    book t ~kind:Aggregate ~label ~rounds ~messages:k ~words:total
 
 let charge t ~label rounds =
   if rounds < 0.0 then invalid_arg "Net.charge: negative rounds";
-  book t ~label ~rounds ~messages:0 ~words:0
+  book t ~kind:Charge ~label ~rounds ~messages:0 ~words:0
 
 let charge_overhead t ~label rounds =
   charge t ~label rounds;
@@ -153,15 +184,19 @@ let book_retry t ~label ~attempt packets =
   let before = t.total_rounds in
   exchange t ~label:(retry_label label) packets;
   let backoff = Float.of_int (1 lsl min 10 (attempt - 1)) in
-  book t ~label:(retry_label label) ~rounds:backoff ~messages:0 ~words:0;
-  t.total_retransmits <- t.total_retransmits + List.length packets;
+  book t ~kind:Charge ~label:(retry_label label) ~rounds:backoff ~messages:0
+    ~words:0;
+  let k = List.length packets in
+  t.total_retransmits <- t.total_retransmits + k;
+  Cc_obs.Metrics.incr ~by:k "net.retransmits";
   t.overhead_rounds <- t.overhead_rounds +. (t.total_rounds -. before)
 
 let book_straggle t ~label f =
   let s = Fault.straggle_rounds f in
   if s > 0 then begin
     let rounds = Float.of_int s in
-    book t ~label:(label ^ ":straggle") ~rounds ~messages:0 ~words:0;
+    book t ~kind:Charge ~label:(label ^ ":straggle") ~rounds ~messages:0
+      ~words:0;
     t.overhead_rounds <- t.overhead_rounds +. rounds
   end
 
@@ -178,6 +213,7 @@ let judge_wave t f arr out pending =
       else if Fault.is_crashed f src || Fault.is_crashed f dst then begin
         out.(i) <- Lost;
         t.total_dropped <- t.total_dropped + 1;
+        Cc_obs.Metrics.incr "net.dropped";
         false
       end
       else
@@ -192,6 +228,7 @@ let judge_wave t f arr out pending =
             false
         | Fault.Drop ->
             t.total_dropped <- t.total_dropped + 1;
+            Cc_obs.Metrics.incr "net.dropped";
             true)
     pending
 
@@ -231,7 +268,8 @@ let reliable_broadcast t ~label ~src ~words =
         for dst = 0 to t.n - 1 do
           if dst <> src then begin
             out.(dst) <- Lost;
-            t.total_dropped <- t.total_dropped + 1
+            t.total_dropped <- t.total_dropped + 1;
+            Cc_obs.Metrics.incr "net.dropped"
           end
         done;
         out
@@ -255,7 +293,8 @@ let reliable_broadcast t ~label ~src ~words =
       end
 
 let ledger t =
-  Hashtbl.fold (fun label e acc -> (label, e.rounds, e.messages, e.words) :: acc)
+  Hashtbl.fold
+    (fun label (e : entry) acc -> (label, e.rounds, e.messages, e.words) :: acc)
     t.by_label []
   |> List.sort (fun (l1, r1, _, _) (l2, r2, _, _) ->
          (* Descending rounds, ties broken by label so the ordering never
@@ -281,16 +320,37 @@ let entry_words t =
   let lg = int_of_float (Float.ceil (Float.log2 (Float.of_int t.n))) in
   max 1 (words_for_bits t (lg * lg))
 
-let pp_ledger fmt t =
-  Format.fprintf fmt "@[<v>total rounds: %.1f, messages: %d, words: %d@,"
-    t.total_rounds t.total_messages t.total_words;
-  if t.total_retransmits > 0 || t.total_dropped > 0 || t.overhead_rounds > 0.0
-  then
-    Format.fprintf fmt
-      "faults: %d retransmits, %d dropped, %.1f overhead rounds@,"
-      t.total_retransmits t.total_dropped t.overhead_rounds;
+let pp_totals fmt t =
+  Format.fprintf fmt "total rounds: %.1f, messages: %d, words: %d"
+    t.total_rounds t.total_messages t.total_words
+
+let pp_fault_summary fmt t =
+  Format.fprintf fmt "faults: %d retransmits, %d dropped, %.1f overhead rounds"
+    t.total_retransmits t.total_dropped t.overhead_rounds
+
+let ledger_table t =
+  let module Table = Cc_util.Table in
+  let table =
+    Table.create ~title:"per-label round ledger"
+      ~columns:[ "label"; "rounds"; "share"; "msgs"; "words" ]
+  in
   List.iter
     (fun (label, r, m, w) ->
-      Format.fprintf fmt "  %-32s %10.1f rounds %10d msgs %12d words@," label r m w)
+      Table.add_row table
+        [
+          label;
+          Table.cell_float ~decimals:1 r;
+          (if t.total_rounds > 0.0 then
+             Printf.sprintf "%.1f%%" (100.0 *. r /. t.total_rounds)
+           else "-");
+          Table.cell_int m;
+          Table.cell_int w;
+        ])
     (ledger t);
-  Format.fprintf fmt "@]"
+  table
+
+let pp_ledger fmt t =
+  Format.fprintf fmt "@[<v>%a@," pp_totals t;
+  if t.total_retransmits > 0 || t.total_dropped > 0 || t.overhead_rounds > 0.0
+  then Format.fprintf fmt "%a@," pp_fault_summary t;
+  Format.fprintf fmt "%s@]" (Cc_util.Table.render (ledger_table t))

@@ -147,6 +147,34 @@ val overhead_rounds : t -> float
     runs). *)
 val ledger : t -> (string * float * int * int) list
 
+(** {1 Observability}
+
+    Every booked primitive is mirrored to two places {e after} the ledger
+    update: the optional per-net {!set_sink} callback, and the process-wide
+    {!Cc_obs.Trace} collector (when one is installed). Neither path touches
+    the ledger or draws randomness, so an observed run is bit-identical to a
+    bare one. *)
+
+(** The metering primitive a cost was booked under. *)
+type event_kind = Exchange | Broadcast | All_to_all | Aggregate | Charge
+
+type event = {
+  kind : event_kind;
+  label : string;  (** ledger label. *)
+  rounds : float;  (** rounds booked by this primitive. *)
+  messages : int;
+  words : int;
+  total_rounds : float;  (** {!rounds} immediately after booking. *)
+}
+
+(** [set_sink t sink] installs (or with [None] removes) a callback invoked
+    once per booked primitive. *)
+val set_sink : t -> (event -> unit) option -> unit
+
+(** [kind_name k] is the lowercase wire name (["exchange"], ["broadcast"],
+    ["all_to_all"], ["aggregate"], ["charge"]). *)
+val kind_name : event_kind -> string
+
 (** [reset t] zeroes all counters — the totals, the fault-overhead counters,
     and every per-label entry. *)
 val reset : t -> unit
@@ -160,5 +188,17 @@ val words_for_bits : t -> int -> int
     [log2 n * log2 n], at least 1. *)
 val entry_words : t -> int
 
-(** [pp_ledger fmt t] pretty-prints the ledger. *)
+(** [pp_totals fmt t] prints the one-line rounds/messages/words totals. *)
+val pp_totals : Format.formatter -> t -> unit
+
+(** [pp_fault_summary fmt t] prints the one-line retransmit/drop/overhead
+    summary. *)
+val pp_fault_summary : Format.formatter -> t -> unit
+
+(** [ledger_table t] is the ledger as a {!Cc_util.Table.t} with a share
+    column (per-label rounds as a percentage of the total). *)
+val ledger_table : t -> Cc_util.Table.t
+
+(** [pp_ledger fmt t] pretty-prints the totals, fault summary, and ledger
+    table. *)
 val pp_ledger : Format.formatter -> t -> unit

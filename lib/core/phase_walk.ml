@@ -312,8 +312,18 @@ let run net prng ~backend ?bits ~trans ~machine_of ~start ~rho ~target_len
     if Array.length !walk > max_materialized then
       failwith "Phase_walk.run: materialized walk exceeds cap";
     Log.debug (fun m -> m "level gap=2^%d, %d entries" gap (Array.length !walk));
-    walk := level !walk gap
+    Cc_obs.Trace.with_span "phase_walk.level"
+      ~args:
+        [
+          ("gap", string_of_int gap);
+          ("entries", string_of_int (Array.length !walk));
+        ]
+      (fun () -> walk := level !walk gap)
   done;
+  Cc_obs.Metrics.incr ~by:counters.c_checks "phase_walk.checks";
+  Cc_obs.Metrics.incr ~by:counters.c_midpoints "phase_walk.midpoints";
+  Cc_obs.Metrics.incr ~by:counters.c_exact "phase_walk.matchings_exact";
+  Cc_obs.Metrics.incr ~by:counters.c_mcmc "phase_walk.matchings_mcmc";
   ( !walk,
     {
       levels;

@@ -90,6 +90,21 @@ let sample ?(config = default_config) ?faults net prng g =
   if not (Graph.is_connected g) then
     invalid_arg "Sampler.sample: graph must be connected";
   let faults = match faults with Some _ as f -> f | None -> Net.faults net in
+  Cc_obs.Trace.with_span "sampler.sample"
+    ~args:
+      [
+        ("n", string_of_int n);
+        ("backend", Matmul.backend_name config.backend);
+        ( "schur",
+          match config.schur with
+          | Exact_solve -> "exact-solve"
+          | Powering _ -> "powering" );
+        ( "matching",
+          match config.matching with
+          | Phase_walk.Resample _ -> "resample"
+          | Phase_walk.Magical -> "magical" );
+      ]
+  @@ fun () ->
   let before_stats =
     match faults with Some f -> Fault.snapshot f | None -> (0, 0, 0)
   in
@@ -199,6 +214,14 @@ let sample ?(config = default_config) ?faults net prng g =
   try
   while !remaining > 0 do
     incr phases;
+    Cc_obs.Metrics.incr "sampler.phases";
+    Cc_obs.Trace.with_span "sampler.phase"
+      ~args:
+        [
+          ("phase", string_of_int !phases);
+          ("unvisited", string_of_int !remaining);
+        ]
+    @@ fun () ->
     check_alive ();
     Log.debug (fun m ->
         m "phase %d: %d unvisited, walk at vertex %d" !phases !remaining !current);
@@ -316,6 +339,7 @@ let sample ?(config = default_config) ?faults net prng g =
   done;
   let tree = Tree.of_edges ~n !tree_edges in
   assert (Tree.is_spanning_tree g tree);
+  Cc_obs.Metrics.observe "sampler.walk_total" (Float.of_int !walk_total);
   let health =
     match faults with
     | None -> Fault.Healthy
@@ -330,6 +354,7 @@ let sample ?(config = default_config) ?faults net prng g =
     health;
   }
   with Degrade failure ->
+    Cc_obs.Metrics.incr "sampler.degraded";
     (* Graceful degradation: the live machines ship the graph to the leader,
        which runs the sequential phased sampler locally and distributes the
        result — metered as a gather + broadcast of O(n^2) words. The tree is

@@ -58,11 +58,23 @@ let max_reruns = 16
    coordinator (machine 0) holds the hash-seed/leader role, so its crash —
    or exhaustion of the re-run budget — degrades the run to the local
    step-by-step baseline behind [Fault.Unrecoverable]. *)
+let scheme_name = function
+  | Load_balanced _ -> "load-balanced"
+  | Unbalanced -> "unbalanced"
+
 let run_multi ?faults net prng g ~tau ~walks_per_node ~scheme =
   let n = Graph.n g in
   if Net.n net <> n then invalid_arg "Doubling.run: net size must equal n";
   if tau < 1 then invalid_arg "Doubling.run: tau < 1";
   if walks_per_node < 1 then invalid_arg "Doubling.run: walks_per_node < 1";
+  Cc_obs.Trace.with_span "doubling.run"
+    ~args:
+      [
+        ("tau", string_of_int tau);
+        ("walks_per_node", string_of_int walks_per_node);
+        ("scheme", scheme_name scheme);
+      ]
+  @@ fun () ->
   let faults = match faults with Some _ as f -> f | None -> Net.faults net in
   let before_stats =
     match faults with Some f -> Fault.snapshot f | None -> (0, 0, 0)
@@ -287,14 +299,20 @@ let run_multi ?faults net prng g ~tau ~walks_per_node ~scheme =
   try
     while !k > walks_per_node do
       incr iterations;
+      Cc_obs.Metrics.incr "doubling.iterations";
       let kk = !k in
       let half = kk / 2 in
       let budget = ref max_reruns in
       let merged = ref None in
       while !merged = None do
-        match iterate kk half with
+        match
+          Cc_obs.Trace.with_span "doubling.iteration"
+            ~args:[ ("k", string_of_int kk) ]
+            (fun () -> iterate kk half)
+        with
         | m -> merged := Some m
         | exception Rerun_iteration why ->
+            Cc_obs.Metrics.incr "doubling.reruns";
             (match faults with Some f -> Fault.note_rerun f | None -> ());
             decr budget;
             if !budget <= 0 then
@@ -307,6 +325,7 @@ let run_multi ?faults net prng g ~tau ~walks_per_node ~scheme =
                    })
       done;
       let merged, max_load = Option.get !merged in
+      Cc_obs.Metrics.observe "doubling.max_tuples" (Float.of_int max_load);
       loads := max_load :: !loads;
       (* Step 5: the iteration committed; this is the next checkpoint. *)
       Array.iteri (fun v m -> walks.(v) <- m) merged;
@@ -319,6 +338,7 @@ let run_multi ?faults net prng g ~tau ~walks_per_node ~scheme =
     in
     (walks, !iterations, Array.of_list (List.rev !loads), tau_pow, health)
   with Degrade failure ->
+    Cc_obs.Metrics.incr "doubling.degraded";
     (* Graceful degradation: regenerate every walk with the step-by-step
        baseline (one exchange per step, tau_pow rounds) so the caller still
        receives valid random walks, and report the failure structurally. *)

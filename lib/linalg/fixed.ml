@@ -7,8 +7,16 @@ let round_down ~bits x =
     Float.floor (x *. scale) /. scale
 
 let round_mat ~bits m =
-  Mat.init ~rows:(Mat.rows m) ~cols:(Mat.cols m) (fun i j ->
-      round_down ~bits (Mat.get m i j))
+  let max_delta = ref 0.0 in
+  let rounded =
+    Mat.init ~rows:(Mat.rows m) ~cols:(Mat.cols m) (fun i j ->
+        let x = Mat.get m i j in
+        let r = round_down ~bits x in
+        max_delta := Float.max !max_delta (x -. r);
+        r)
+  in
+  Cc_obs.Metrics.observe "fixed.round_error" !max_delta;
+  rounded
 
 let rounded_power ~bits m k =
   if k <= 0 || k land (k - 1) <> 0 then

@@ -55,6 +55,10 @@ let log_sum_exp xs =
          (List.fold_left (fun acc x -> acc +. Float.exp (x -. m)) 0.0 xs)
 
 let sample_exact ?(max_states = 2_000_000) prng t =
+  Cc_obs.Metrics.incr "placement.exact_calls";
+  Cc_obs.Trace.with_span "placement.exact"
+    ~args:[ ("k", string_of_int (Array.length t.identities)) ]
+  @@ fun () ->
   let classes = position_classes t in
   let tcount = Array.length classes in
   let capacities = Array.map (fun (_, members) -> List.length members) classes in

@@ -1,0 +1,32 @@
+(** Minimal JSON construction and serialization.
+
+    The observability exporters (Chrome traces, JSONL event logs, the bench
+    harness's [--json] trajectory files) need to *emit* JSON but never parse
+    it, so this module is a value type plus a serializer — no external
+    dependency. Non-finite floats serialize as [null] (JSON has no NaN). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [float_opt x] is [Float x], or [Null] when [x] is not finite. *)
+val float_opt : float -> t
+
+(** [escape s] is [s] with JSON string escapes applied (no surrounding
+    quotes). *)
+val escape : string -> string
+
+(** [to_buffer buf v] appends the compact serialization of [v]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** [to_string v] is the compact one-line serialization of [v]. *)
+val to_string : t -> string
+
+(** [to_string_pretty v] is an indented serialization (2-space indent),
+    for artifacts meant to be read and diffed by humans. *)
+val to_string_pretty : t -> string

@@ -1,0 +1,82 @@
+type histogram = { count : int; sum : float; min : float; max : float }
+
+type value = Counter of int | Gauge of float | Histogram of histogram
+
+let registry : (string, value) Hashtbl.t = Hashtbl.create 64
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is already bound to another instrument kind"
+       name)
+
+let incr ?(by = 1) name =
+  match Hashtbl.find_opt registry name with
+  | None -> Hashtbl.replace registry name (Counter by)
+  | Some (Counter c) -> Hashtbl.replace registry name (Counter (c + by))
+  | Some _ -> kind_error name
+
+let set_gauge name x =
+  match Hashtbl.find_opt registry name with
+  | None | Some (Gauge _) -> Hashtbl.replace registry name (Gauge x)
+  | Some _ -> kind_error name
+
+let observe name x =
+  match Hashtbl.find_opt registry name with
+  | None ->
+      Hashtbl.replace registry name
+        (Histogram { count = 1; sum = x; min = x; max = x })
+  | Some (Histogram h) ->
+      Hashtbl.replace registry name
+        (Histogram
+           {
+             count = h.count + 1;
+             sum = h.sum +. x;
+             min = Float.min h.min x;
+             max = Float.max h.max x;
+           })
+  | Some _ -> kind_error name
+
+let get name = Hashtbl.find_opt registry name
+
+let snapshot () =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset () = Hashtbl.reset registry
+
+let pp fmt () =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter c -> Format.fprintf fmt "%-36s counter %12d@," name c
+      | Gauge g -> Format.fprintf fmt "%-36s gauge   %12g@," name g
+      | Histogram h ->
+          Format.fprintf fmt
+            "%-36s hist    %12d obs  mean %.4g  min %.4g  max %.4g@," name
+            h.count
+            (h.sum /. Float.of_int (max 1 h.count))
+            h.min h.max)
+    (snapshot ());
+  Format.fprintf fmt "@]"
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Counter c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int c) ]
+           | Gauge g -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.float_opt g) ]
+           | Histogram h ->
+               Json.Obj
+                 [
+                   ("type", Json.String "histogram");
+                   ("count", Json.Int h.count);
+                   ("sum", Json.float_opt h.sum);
+                   ("min", Json.float_opt h.min);
+                   ("max", Json.float_opt h.max);
+                   ( "mean",
+                     Json.float_opt (h.sum /. Float.of_int (max 1 h.count)) );
+                 ] ))
+       (snapshot ()))

@@ -1,0 +1,49 @@
+(** Process-wide registry of named counters, gauges, and histograms.
+
+    Instrumented code reports by name ([Metrics.incr "doubling.iterations"]);
+    the registry lazily creates the instrument on first use. Recording is
+    cheap (one hashtable lookup and a field update), draws no randomness,
+    and never touches the simulation state, so instrumented runs are
+    bit-identical to bare ones. The registry is global: benchmarks and tests
+    that need isolation call {!reset} first.
+
+    Conventions: dotted lowercase names, [subsystem.metric] (e.g.
+    ["net.retransmits"], ["sampler.phases"], ["fixed.round_error"]). A name
+    is permanently bound to its first-used instrument kind; mixing kinds
+    under one name raises [Invalid_argument]. *)
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram
+
+(** [incr ?by name] adds [by] (default 1) to counter [name]. *)
+val incr : ?by:int -> string -> unit
+
+(** [set_gauge name x] sets gauge [name] to [x]. *)
+val set_gauge : string -> float -> unit
+
+(** [observe name x] folds [x] into histogram [name] (count/sum/min/max). *)
+val observe : string -> float -> unit
+
+(** [get name] is the current value bound to [name], if any. *)
+val get : string -> value option
+
+(** [snapshot ()] is every instrument, sorted by name. *)
+val snapshot : unit -> (string * value) list
+
+(** [reset ()] empties the registry. *)
+val reset : unit -> unit
+
+(** [pp fmt ()] renders the registry, one instrument per line. *)
+val pp : Format.formatter -> unit -> unit
+
+(** [to_json ()] is the registry as a JSON object keyed by name. *)
+val to_json : unit -> Json.t

@@ -1,0 +1,322 @@
+type span = {
+  id : int;
+  name : string;
+  args : (string * string) list;
+  depth : int;
+  start_ts : float;
+  mutable stop_ts : float;
+  mutable alloc_words : float;
+  mutable net_rounds : float;
+  mutable net_messages : int;
+  mutable net_words : int;
+  mutable children : span list;
+}
+
+type event = {
+  ts : float;
+  span_id : int option;
+  kind : string;
+  label : string;
+  rounds : float;
+  messages : int;
+  words : int;
+  round_clock : float;
+}
+
+(* An open span carries its GC snapshot; the exported [span] record is filled
+   in at close time. *)
+type open_span = { span : span; alloc_at_open : float }
+
+type t = {
+  clock : unit -> float;
+  max_events : int;
+  mutable next_id : int;
+  mutable stack : open_span list; (* innermost first *)
+  mutable roots : span list; (* completed, reversed *)
+  mutable events : event list; (* reversed *)
+  mutable n_events : int;
+  mutable n_dropped : int;
+}
+
+let create ?(clock = Unix.gettimeofday) ?(max_events = 200_000) () =
+  {
+    clock;
+    max_events;
+    next_id = 0;
+    stack = [];
+    roots = [];
+    events = [];
+    n_events = 0;
+    n_dropped = 0;
+  }
+
+let active : t option ref = ref None
+let install t = active := Some t
+let uninstall () = active := None
+let enabled () = !active <> None
+let current () = !active
+
+let with_trace t f =
+  let prev = !active in
+  active := Some t;
+  Fun.protect ~finally:(fun () -> active := prev) f
+
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let open_span t ~name ~args =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let sp =
+    {
+      id;
+      name;
+      args;
+      depth = List.length t.stack;
+      start_ts = t.clock ();
+      stop_ts = Float.nan;
+      alloc_words = 0.0;
+      net_rounds = 0.0;
+      net_messages = 0;
+      net_words = 0;
+      children = [];
+    }
+  in
+  t.stack <- { span = sp; alloc_at_open = allocated_words () } :: t.stack
+
+let close_span t =
+  match t.stack with
+  | [] -> () (* unbalanced close: collector was swapped mid-span; ignore *)
+  | { span = sp; alloc_at_open } :: rest ->
+      sp.stop_ts <- t.clock ();
+      sp.alloc_words <- allocated_words () -. alloc_at_open;
+      sp.children <- List.rev sp.children;
+      t.stack <- rest;
+      (match rest with
+      | { span = parent; _ } :: _ -> parent.children <- sp :: parent.children
+      | [] -> t.roots <- sp :: t.roots)
+
+let with_span ?(args = []) name f =
+  match !active with
+  | None -> f ()
+  | Some t ->
+      open_span t ~name ~args;
+      Fun.protect ~finally:(fun () -> close_span t) f
+
+let record_event t ev =
+  if t.n_events < t.max_events then begin
+    t.events <- ev :: t.events;
+    t.n_events <- t.n_events + 1
+  end
+  else t.n_dropped <- t.n_dropped + 1
+
+let innermost t =
+  match t.stack with [] -> None | { span; _ } :: _ -> Some span.id
+
+let instant ?(args = []) name =
+  match !active with
+  | None -> ()
+  | Some t ->
+      let label =
+        match args with
+        | [] -> ""
+        | args -> String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) args)
+      in
+      record_event t
+        {
+          ts = t.clock ();
+          span_id = innermost t;
+          kind = "instant";
+          label = (if label = "" then name else name ^ " " ^ label);
+          rounds = 0.0;
+          messages = 0;
+          words = 0;
+          round_clock = Float.nan;
+        }
+
+let net_event ~kind ~label ~rounds ~messages ~words ~round_clock =
+  match !active with
+  | None -> ()
+  | Some t ->
+      List.iter
+        (fun { span = sp; _ } ->
+          sp.net_rounds <- sp.net_rounds +. rounds;
+          sp.net_messages <- sp.net_messages + messages;
+          sp.net_words <- sp.net_words + words)
+        t.stack;
+      record_event t
+        {
+          ts = t.clock ();
+          span_id = innermost t;
+          kind;
+          label;
+          rounds;
+          messages;
+          words;
+          round_clock;
+        }
+
+let roots t = List.rev t.roots
+let events t = List.rev t.events
+let dropped_events t = t.n_dropped
+
+let total_rounds t =
+  List.fold_left (fun acc sp -> acc +. sp.net_rounds) 0.0 t.roots
+
+(* --- exporters --- *)
+
+let span_wall sp =
+  if Float.is_nan sp.stop_ts then 0.0 else sp.stop_ts -. sp.start_ts
+
+let human_words w =
+  if w >= 1e9 then Printf.sprintf "%.2fGw" (w /. 1e9)
+  else if w >= 1e6 then Printf.sprintf "%.2fMw" (w /. 1e6)
+  else if w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
+
+let human_time s =
+  if s >= 1.0 then Printf.sprintf "%.2fs" s
+  else if s >= 1e-3 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.0fus" (s *. 1e6)
+
+let pp_tree fmt t =
+  let rec pp sp =
+    let pad = String.make (2 * sp.depth) ' ' in
+    let args =
+      match sp.args with
+      | [] -> ""
+      | args ->
+          "[" ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) args)
+          ^ "]"
+    in
+    Format.fprintf fmt "%s%-*s %s %8s %9s %10.1f rounds %8d msgs %10d words@,"
+      pad
+      (max 1 (36 - (2 * sp.depth)))
+      sp.name args
+      (human_time (span_wall sp))
+      (human_words sp.alloc_words)
+      sp.net_rounds sp.net_messages sp.net_words;
+    List.iter pp sp.children
+  in
+  Format.fprintf fmt "@[<v>";
+  List.iter pp (roots t);
+  if t.n_dropped > 0 then
+    Format.fprintf fmt "(%d timeline events dropped beyond cap)@," t.n_dropped;
+  Format.fprintf fmt "@]"
+
+(* Chrome trace_event timestamps are microseconds; use the earliest span or
+   event timestamp as the origin so traces start near 0. *)
+let origin t =
+  let cands =
+    List.filter_map
+      (fun x -> if Float.is_nan x then None else Some x)
+      (List.map (fun sp -> sp.start_ts) (roots t)
+      @ List.map (fun ev -> ev.ts) (events t))
+  in
+  match cands with [] -> 0.0 | x :: rest -> List.fold_left Float.min x rest
+
+let to_chrome_json t =
+  let t0 = origin t in
+  let us x = (x -. t0) *. 1e6 in
+  let acc = ref [] in
+  let rec span_events sp =
+    acc :=
+      Json.Obj
+        [
+          ("name", Json.String sp.name);
+          ("cat", Json.String "span");
+          ("ph", Json.String "X");
+          ("ts", Json.float_opt (us sp.start_ts));
+          ( "dur",
+            Json.float_opt
+              (Float.max 0.01 (span_wall sp *. 1e6)) );
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ( "args",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.String v)) sp.args
+              @ [
+                  ("rounds", Json.float_opt sp.net_rounds);
+                  ("messages", Json.Int sp.net_messages);
+                  ("words", Json.Int sp.net_words);
+                  ("alloc_words", Json.float_opt sp.alloc_words);
+                ]) );
+        ]
+      :: !acc;
+    List.iter span_events sp.children
+  in
+  List.iter span_events (roots t);
+  List.iter
+    (fun ev ->
+      acc :=
+        Json.Obj
+          [
+            ("name", Json.String (ev.kind ^ ":" ^ ev.label));
+            ("cat", Json.String "net");
+            ("ph", Json.String "i");
+            ("s", Json.String "t");
+            ("ts", Json.float_opt (us ev.ts));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+            ( "args",
+              Json.Obj
+                [
+                  ("rounds", Json.float_opt ev.rounds);
+                  ("messages", Json.Int ev.messages);
+                  ("words", Json.Int ev.words);
+                  ("round_clock", Json.float_opt ev.round_clock);
+                ] );
+          ]
+        :: !acc)
+    (events t);
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.rev !acc));
+         ("displayTimeUnit", Json.String "ms");
+       ])
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  let line v =
+    Buffer.add_string buf (Json.to_string v);
+    Buffer.add_char buf '\n'
+  in
+  let rec span_lines sp =
+    line
+      (Json.Obj
+         [
+           ("type", Json.String "span");
+           ("id", Json.Int sp.id);
+           ("name", Json.String sp.name);
+           ("depth", Json.Int sp.depth);
+           ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) sp.args));
+           ("start_s", Json.float_opt sp.start_ts);
+           ("wall_s", Json.float_opt (span_wall sp));
+           ("alloc_words", Json.float_opt sp.alloc_words);
+           ("rounds", Json.float_opt sp.net_rounds);
+           ("messages", Json.Int sp.net_messages);
+           ("words", Json.Int sp.net_words);
+         ]);
+    List.iter span_lines sp.children
+  in
+  List.iter span_lines (roots t);
+  List.iter
+    (fun ev ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.String "event");
+             ("ts_s", Json.float_opt ev.ts);
+             ( "span",
+               match ev.span_id with None -> Json.Null | Some i -> Json.Int i );
+             ("kind", Json.String ev.kind);
+             ("label", Json.String ev.label);
+             ("rounds", Json.float_opt ev.rounds);
+             ("messages", Json.Int ev.messages);
+             ("words", Json.Int ev.words);
+             ("round_clock", Json.float_opt ev.round_clock);
+           ]))
+    (events t);
+  Buffer.contents buf

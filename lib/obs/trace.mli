@@ -1,0 +1,125 @@
+(** Hierarchical tracing for the Congested Clique stack.
+
+    A trace is a tree of {e spans} (named, timed regions of execution) plus a
+    flat, time-ordered list of {e net events} (one per metered {!Cc_clique.Net}
+    primitive — exchanges, broadcasts, analytic charges). Spans record three
+    kinds of cost:
+
+    - wall-clock time, from an injectable clock (deterministic in tests);
+    - GC allocation (minor + major words allocated while the span was open);
+    - simulated network cost — the rounds / messages / words booked by the
+      metering layer while the span was open, attributed to {e every} open
+      span on the stack. Per-phase round attribution therefore nests: a
+      phase span's rounds include its children's, and the round totals of a
+      run's top-level spans sum to [Net.rounds].
+
+    Tracing is {b off by default and zero-cost when off}: [with_span] without
+    an installed collector is a single [ref] read plus the wrapped call, and
+    no event is recorded. Observability never perturbs the simulation — it
+    draws no randomness and never touches the ledger, so an instrumented run
+    is bit-identical to a bare one.
+
+    Exporters: a human-readable span tree ({!pp_tree}), JSON-lines
+    ({!to_jsonl}), and Chrome [trace_event] JSON ({!to_chrome_json}) loadable
+    in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+type span = {
+  id : int;
+  name : string;
+  args : (string * string) list;  (** static key/value annotations. *)
+  depth : int;  (** 0 for top-level spans. *)
+  start_ts : float;  (** clock seconds at open. *)
+  mutable stop_ts : float;  (** clock seconds at close. *)
+  mutable alloc_words : float;  (** GC words allocated inside the span. *)
+  mutable net_rounds : float;  (** rounds booked while the span was open. *)
+  mutable net_messages : int;
+  mutable net_words : int;
+  mutable children : span list;  (** completed children, in start order. *)
+}
+
+type event = {
+  ts : float;  (** clock seconds. *)
+  span_id : int option;  (** innermost open span, if any. *)
+  kind : string;  (** primitive: ["exchange"], ["broadcast"], ... *)
+  label : string;  (** the ledger label the cost was booked under. *)
+  rounds : float;
+  messages : int;
+  words : int;
+  round_clock : float;  (** [Net.rounds] immediately after booking. *)
+}
+
+type t
+
+(** [create ?clock ?max_events ()] builds an empty collector. [clock] returns
+    seconds (default [Unix.gettimeofday]; inject a counter for deterministic
+    tests). At most [max_events] net events are kept (default [200_000]);
+    excess events still update span totals but are dropped from the timeline
+    and counted in {!dropped_events}. *)
+val create : ?clock:(unit -> float) -> ?max_events:int -> unit -> t
+
+(** [install t] makes [t] the process-wide active collector. *)
+val install : t -> unit
+
+(** [uninstall ()] deactivates tracing (spans become no-ops again). *)
+val uninstall : unit -> unit
+
+val enabled : unit -> bool
+val current : unit -> t option
+
+(** [with_trace t f] installs [t] for the duration of [f], restoring the
+    previously active collector (if any) afterwards, exceptions included. *)
+val with_trace : t -> (unit -> 'a) -> 'a
+
+(** [with_span ?args name f] runs [f] inside a span named [name]. Without an
+    active collector this is just [f ()]. The span is closed (and recorded)
+    even if [f] raises. *)
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** [instant ?args name] records a zero-duration marker event attributed to
+    the innermost open span. No-op without an active collector. *)
+val instant : ?args:(string * string) list -> string -> unit
+
+(** [net_event ~kind ~label ~rounds ~messages ~words ~round_clock] feeds one
+    metered primitive into the active collector: the cost is added to every
+    open span and appended to the event timeline. Called by the
+    {!Cc_clique.Net} booking layer; no-op without an active collector. *)
+val net_event :
+  kind:string ->
+  label:string ->
+  rounds:float ->
+  messages:int ->
+  words:int ->
+  round_clock:float ->
+  unit
+
+(** {1 Inspection} *)
+
+(** [roots t] is the completed top-level spans, in start order. Spans still
+    open are not included. *)
+val roots : t -> span list
+
+(** [events t] is the recorded net-event timeline, in order. *)
+val events : t -> event list
+
+(** [dropped_events t] counts events beyond [max_events] that were dropped
+    from the timeline (span totals still include them). *)
+val dropped_events : t -> int
+
+(** [total_rounds t] sums [net_rounds] over the top-level spans. *)
+val total_rounds : t -> float
+
+(** {1 Exporters} *)
+
+(** [pp_tree fmt t] renders the span tree with per-span wall-clock,
+    allocation, and rounds/messages/words. *)
+val pp_tree : Format.formatter -> t -> unit
+
+(** [to_chrome_json t] is Chrome [trace_event] JSON ([{"traceEvents": ...}]):
+    spans as complete (["ph":"X"]) events with microsecond timestamps
+    relative to the trace start, net events as instant (["ph":"i"]) events
+    carrying rounds/words in [args]. *)
+val to_chrome_json : t -> string
+
+(** [to_jsonl t] is one JSON object per line: every span (depth-first, in
+    start order) then every net event. *)
+val to_jsonl : t -> string

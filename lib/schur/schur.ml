@@ -17,6 +17,13 @@ let members ~n ~s =
 let graph_exact g ~s =
   if Array.length s = 0 then invalid_arg "Schur.graph_exact: empty S";
   ignore (members ~n:(Graph.n g) ~s);
+  Cc_obs.Trace.with_span "schur.exact"
+    ~args:
+      [
+        ("n", string_of_int (Graph.n g));
+        ("keep", string_of_int (Array.length s));
+      ]
+  @@ fun () ->
   let l = Graph.laplacian g in
   let schur_l = Solve.schur_complement l ~keep:s in
   (* The Schur complement of a Laplacian is a Laplacian (Fact 2.3.6 in Kyng);
@@ -49,6 +56,14 @@ let transition_via_shortcut g q ~s =
 
 let approx ?net ?bits g ~s ~k =
   let in_s = members ~n:(Graph.n g) ~s in
+  Cc_obs.Trace.with_span "schur.approx"
+    ~args:
+      [
+        ("n", string_of_int (Graph.n g));
+        ("keep", string_of_int (Array.length s));
+        ("k", string_of_int k);
+      ]
+  @@ fun () ->
   let q = Shortcut.approx ?net ?bits g ~in_s ~k in
   (match net with
   | None -> ()

@@ -23,6 +23,9 @@ let s_mass p ~in_s w =
 
 let exact g ~in_s =
   check_s g ~in_s;
+  Cc_obs.Trace.with_span "shortcut.exact"
+    ~args:[ ("n", string_of_int (Graph.n g)) ]
+  @@ fun () ->
   let n = Graph.n g in
   let p = Graph.transition_matrix g in
   (* Transient chain: moves only to vertices outside S. *)
@@ -48,6 +51,9 @@ let approx ?net ?bits g ~in_s ~k =
   check_s g ~in_s;
   if k <= 0 || k land (k - 1) <> 0 then
     invalid_arg "Shortcut.approx: k must be a positive power of two";
+  Cc_obs.Trace.with_span "shortcut.approx"
+    ~args:[ ("n", string_of_int (Graph.n g)); ("k", string_of_int k) ]
+  @@ fun () ->
   let n = Graph.n g in
   let r = auxiliary_chain g ~in_s in
   let maybe_round m = match bits with None -> m | Some b -> Fixed.round_mat ~bits:b m in

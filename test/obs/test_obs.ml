@@ -1,0 +1,351 @@
+(* Tests for the observability layer: tracing determinism under an injected
+   clock, net-cost attribution, the zero-perturbation invariant, exporters,
+   and the metrics registry. *)
+
+module Trace = Cc_obs.Trace
+module Metrics = Cc_obs.Metrics
+module Json = Cc_obs.Json
+module Net = Cc_clique.Net
+module Prng = Cc_util.Prng
+module Gen = Cc_graph.Gen
+module Sampler = Cc_sampler.Sampler
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* A deterministic clock: each call advances by one "second". *)
+let counter_clock () =
+  let t = ref (-1.0) in
+  fun () ->
+    t := !t +. 1.0;
+    !t
+
+(* --- Trace: span tree shape and determinism --------------------------- *)
+
+let test_span_tree_shape () =
+  let t = Trace.create ~clock:(counter_clock ()) () in
+  Trace.with_trace t (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "inner-a" (fun () -> ());
+          Trace.with_span "inner-b" ~args:[ ("k", "3") ] (fun () -> ()));
+      Trace.with_span "second" (fun () -> ()));
+  let roots = Trace.roots t in
+  Alcotest.(check int) "two roots" 2 (List.length roots);
+  let outer = List.hd roots in
+  Alcotest.(check string) "root name" "outer" outer.Trace.name;
+  Alcotest.(check int) "root depth" 0 outer.Trace.depth;
+  let kids = outer.Trace.children in
+  Alcotest.(check (list string))
+    "children in start order" [ "inner-a"; "inner-b" ]
+    (List.map (fun (s : Trace.span) -> s.Trace.name) kids);
+  List.iter
+    (fun (s : Trace.span) -> Alcotest.(check int) "child depth" 1 s.Trace.depth)
+    kids;
+  let b = List.nth kids 1 in
+  Alcotest.(check (list (pair string string)))
+    "args recorded" [ ("k", "3") ] b.Trace.args
+
+let test_injected_clock_is_deterministic () =
+  let run () =
+    let t = Trace.create ~clock:(counter_clock ()) () in
+    Trace.with_trace t (fun () ->
+        Trace.with_span "a" (fun () -> Trace.with_span "b" (fun () -> ())));
+    t
+  in
+  let t1 = run () and t2 = run () in
+  let stamps t =
+    let rec flat (s : Trace.span) =
+      (s.Trace.name, s.Trace.start_ts, s.Trace.stop_ts)
+      :: List.concat_map flat s.Trace.children
+    in
+    List.concat_map flat (Trace.roots t)
+  in
+  Alcotest.(check (list (triple string (float 0.0) (float 0.0))))
+    "identical timestamps" (stamps t1) (stamps t2);
+  (* With a +1/call counter clock the layout is fully pinned down. *)
+  match stamps t1 with
+  | [ ("a", a0, a1); ("b", b0, b1) ] ->
+      Alcotest.(check bool) "nesting order" true (a0 < b0 && b1 <= a1)
+  | other -> Alcotest.failf "unexpected span list (%d spans)" (List.length other)
+
+let test_with_span_closes_on_exception () =
+  let t = Trace.create ~clock:(counter_clock ()) () in
+  (try
+     Trace.with_trace t (fun () ->
+         Trace.with_span "outer" (fun () ->
+             Trace.with_span "boom" (fun () -> failwith "boom")))
+   with Failure _ -> ());
+  match Trace.roots t with
+  | [ outer ] ->
+      Alcotest.(check string) "outer recorded" "outer" outer.Trace.name;
+      Alcotest.(check (list string))
+        "raising child recorded" [ "boom" ]
+        (List.map (fun (s : Trace.span) -> s.Trace.name) outer.Trace.children);
+      List.iter
+        (fun (s : Trace.span) ->
+          Alcotest.(check bool) "span closed" true (s.Trace.stop_ts >= s.Trace.start_ts))
+        (outer :: outer.Trace.children)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_disabled_is_transparent () =
+  Trace.uninstall ();
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  let r = Trace.with_span "ghost" (fun () -> 41 + 1) in
+  Alcotest.(check int) "with_span = f () when off" 42 r;
+  Trace.instant "ghost-event";
+  Trace.net_event ~kind:"charge" ~label:"x" ~rounds:1.0 ~messages:0 ~words:0
+    ~round_clock:1.0;
+  Alcotest.(check (option reject)) "still no collector" None (Trace.current ())
+
+(* --- Net attribution --------------------------------------------------- *)
+
+let test_net_events_attributed_to_open_spans () =
+  let t = Trace.create ~clock:(counter_clock ()) () in
+  let net = Net.create ~n:4 in
+  Trace.with_trace t (fun () ->
+      Trace.with_span "phase" (fun () ->
+          Net.broadcast net ~label:"b" ~src:0 ~words:3;
+          Trace.with_span "sub" (fun () ->
+              Net.all_to_all net ~label:"a2a" ~words_each:2)));
+  match Trace.roots t with
+  | [ phase ] ->
+      let sub = List.hd phase.Trace.children in
+      Alcotest.(check (float 1e-9))
+        "root rounds = Net.rounds" (Net.rounds net) phase.Trace.net_rounds;
+      Alcotest.(check int) "root words = Net.words" (Net.words net)
+        phase.Trace.net_words;
+      Alcotest.(check int) "root messages = Net.messages" (Net.messages net)
+        phase.Trace.net_messages;
+      Alcotest.(check bool) "child sees only its share" true
+        (sub.Trace.net_rounds < phase.Trace.net_rounds);
+      Alcotest.(check (float 1e-9))
+        "total_rounds sums roots" (Net.rounds net) (Trace.total_rounds t)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_event_timeline_and_kinds () =
+  let t = Trace.create ~clock:(counter_clock ()) () in
+  let net = Net.create ~n:4 in
+  Trace.with_trace t (fun () ->
+      Trace.with_span "s" (fun () ->
+          Net.broadcast net ~label:"b" ~src:1 ~words:2;
+          Net.charge net ~label:"c" 2.5));
+  let evs = Trace.events t in
+  Alcotest.(check (list string))
+    "kinds in order" [ "broadcast"; "charge" ]
+    (List.map (fun (e : Trace.event) -> e.Trace.kind) evs);
+  let last = List.nth evs 1 in
+  Alcotest.(check string) "label" "c" last.Trace.label;
+  Alcotest.(check (float 1e-9)) "round clock" (Net.rounds net)
+    last.Trace.round_clock
+
+let test_set_sink_receives_events () =
+  let net = Net.create ~n:4 in
+  let seen = ref [] in
+  Net.set_sink net (Some (fun (e : Net.event) -> seen := e :: !seen));
+  Net.broadcast net ~label:"b" ~src:0 ~words:5;
+  Net.charge net ~label:"c" 1.0;
+  Net.set_sink net None;
+  Net.charge net ~label:"after" 1.0;
+  let evs = List.rev !seen in
+  Alcotest.(check (list string))
+    "sink saw both, none after detach" [ "broadcast"; "charge" ]
+    (List.map (fun (e : Net.event) -> Net.kind_name e.Net.kind) evs);
+  let b = List.hd evs in
+  (* A broadcast of w words delivers w to each of the n-1 receivers. *)
+  Alcotest.(check int) "words carried" (5 * (Net.n net - 1)) b.Net.words;
+  Alcotest.(check string) "label carried" "b" b.Net.label
+
+let test_sampler_root_span_matches_ledger () =
+  let g = Gen.complete 6 in
+  let t = Trace.create ~clock:(counter_clock ()) () in
+  let net = Net.create ~n:6 in
+  let r =
+    Trace.with_trace t (fun () -> Sampler.sample net (Prng.create ~seed:11) g)
+  in
+  Alcotest.(check (float 1e-6))
+    "trace accounts for every booked round" (Net.rounds net)
+    (Trace.total_rounds t);
+  Alcotest.(check (float 1e-6)) "result agrees" r.Sampler.rounds (Net.rounds net)
+
+let test_tracing_does_not_perturb_run () =
+  let run traced =
+    let g = Gen.complete 8 in
+    let net = Net.create ~n:8 in
+    let sample () = Sampler.sample net (Prng.create ~seed:3) g in
+    let _r =
+      if traced then
+        Trace.with_trace (Trace.create ~clock:(counter_clock ()) ()) sample
+      else sample ()
+    in
+    Format.asprintf "%a" Net.pp_ledger net
+  in
+  Alcotest.(check string) "ledger bit-identical under tracing" (run false)
+    (run true)
+
+(* --- Exporters --------------------------------------------------------- *)
+
+let traced_net_run () =
+  let t = Trace.create ~clock:(counter_clock ()) () in
+  let net = Net.create ~n:4 in
+  Trace.with_trace t (fun () ->
+      Trace.with_span "outer" ~args:[ ("n", "4") ] (fun () ->
+          Net.broadcast net ~label:"b\"x" ~src:0 ~words:1;
+          Trace.with_span "inner" (fun () -> Net.charge net ~label:"c" 1.0)));
+  t
+
+let test_chrome_export () =
+  let t = traced_net_run () in
+  let s = Trace.to_chrome_json t in
+  Alcotest.(check bool) "traceEvents" true
+    (contains_substring ~needle:"\"traceEvents\"" s);
+  Alcotest.(check bool) "complete events" true
+    (contains_substring ~needle:"\"ph\": \"X\"" s
+    || contains_substring ~needle:"\"ph\":\"X\"" s);
+  Alcotest.(check bool) "span name present" true
+    (contains_substring ~needle:"outer" s);
+  Alcotest.(check bool) "label quote escaped" true
+    (contains_substring ~needle:"b\\\"x" s);
+  Alcotest.(check bool) "no raw newline inside strings" true
+    (not (contains_substring ~needle:"b\"x" s))
+
+let test_jsonl_export () =
+  let t = traced_net_run () in
+  let lines =
+    String.split_on_char '\n' (Trace.to_jsonl t)
+    |> List.filter (fun l -> l <> "")
+  in
+  (* 2 spans + 2 net events, one object per line. *)
+  Alcotest.(check int) "one object per record" 4 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is an object" true
+        (String.length l >= 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines
+
+let test_pp_tree () =
+  let t = traced_net_run () in
+  let s = Format.asprintf "%a" Trace.pp_tree t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " rendered") true
+        (contains_substring ~needle s))
+    [ "outer"; "inner"; "rounds" ]
+
+(* --- Json -------------------------------------------------------------- *)
+
+let test_json_serialization () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Bool true; Json.Null ]);
+        ("s", Json.String "q\"uote\nline");
+        ("nan", Json.float_opt Float.nan);
+        ("inf", Json.float_opt Float.infinity);
+        ("f", Json.float_opt 0.5);
+      ]
+  in
+  let s = Json.to_string v in
+  Alcotest.(check string) "compact form"
+    "{\"a\":1,\"b\":[true,null],\"s\":\"q\\\"uote\\nline\",\"nan\":null,\"inf\":null,\"f\":0.5}"
+    s;
+  let pretty = Json.to_string_pretty v in
+  Alcotest.(check bool) "pretty is indented" true
+    (contains_substring ~needle:"\n  " pretty)
+
+(* --- Metrics ----------------------------------------------------------- *)
+
+let test_metrics_counters_gauges_histograms () =
+  Metrics.reset ();
+  Metrics.incr "c";
+  Metrics.incr ~by:4 "c";
+  Metrics.set_gauge "g" 1.5;
+  Metrics.set_gauge "g" 2.5;
+  Metrics.observe "h" 1.0;
+  Metrics.observe "h" 3.0;
+  (match Metrics.get "c" with
+  | Some (Metrics.Counter 5) -> ()
+  | _ -> Alcotest.fail "counter c <> 5");
+  (match Metrics.get "g" with
+  | Some (Metrics.Gauge x) -> Alcotest.(check (float 0.0)) "gauge" 2.5 x
+  | _ -> Alcotest.fail "gauge g missing");
+  (match Metrics.get "h" with
+  | Some (Metrics.Histogram h) ->
+      Alcotest.(check int) "count" 2 h.Metrics.count;
+      Alcotest.(check (float 0.0)) "sum" 4.0 h.Metrics.sum;
+      Alcotest.(check (float 0.0)) "min" 1.0 h.Metrics.min;
+      Alcotest.(check (float 0.0)) "max" 3.0 h.Metrics.max
+  | _ -> Alcotest.fail "histogram h missing");
+  Alcotest.(check (list string))
+    "snapshot sorted" [ "c"; "g"; "h" ]
+    (List.map fst (Metrics.snapshot ()));
+  Metrics.reset ();
+  Alcotest.(check (option reject)) "reset clears" None (Metrics.get "c")
+
+let test_metrics_kind_conflict () =
+  Metrics.reset ();
+  Metrics.incr "x";
+  Alcotest.check_raises "gauge on a counter name"
+    (Invalid_argument "Metrics: \"x\" is already bound to another instrument kind")
+    (fun () -> Metrics.set_gauge "x" 1.0);
+  Alcotest.check_raises "histogram on a counter name"
+    (Invalid_argument "Metrics: \"x\" is already bound to another instrument kind")
+    (fun () -> Metrics.observe "x" 1.0);
+  Metrics.reset ()
+
+let test_metrics_json () =
+  Metrics.reset ();
+  Metrics.incr ~by:2 "runs";
+  Metrics.observe "err" 0.5;
+  let s = Json.to_string (Metrics.to_json ()) in
+  Alcotest.(check bool) "counter exported" true
+    (contains_substring ~needle:"\"runs\":{\"type\":\"counter\",\"value\":2}" s);
+  Alcotest.(check bool) "histogram exported" true
+    (contains_substring ~needle:"\"err\"" s && contains_substring ~needle:"\"count\"" s);
+  Metrics.reset ()
+
+let () =
+  Alcotest.run "cc_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span tree shape" `Quick test_span_tree_shape;
+          Alcotest.test_case "injected clock determinism" `Quick
+            test_injected_clock_is_deterministic;
+          Alcotest.test_case "spans close on exception" `Quick
+            test_with_span_closes_on_exception;
+          Alcotest.test_case "disabled tracing is transparent" `Quick
+            test_disabled_is_transparent;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "span attribution matches Net totals" `Quick
+            test_net_events_attributed_to_open_spans;
+          Alcotest.test_case "event timeline kinds and clock" `Quick
+            test_event_timeline_and_kinds;
+          Alcotest.test_case "set_sink delivers and detaches" `Quick
+            test_set_sink_receives_events;
+          Alcotest.test_case "sampler root spans sum to Net.rounds" `Quick
+            test_sampler_root_span_matches_ledger;
+          Alcotest.test_case "tracing does not perturb the ledger" `Quick
+            test_tracing_does_not_perturb_run;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace_event" `Quick test_chrome_export;
+          Alcotest.test_case "jsonl" `Quick test_jsonl_export;
+          Alcotest.test_case "span tree pretty-printer" `Quick test_pp_tree;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "serialization and escaping" `Quick test_json_serialization ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters, gauges, histograms" `Quick
+            test_metrics_counters_gauges_histograms;
+          Alcotest.test_case "kind conflicts raise" `Quick
+            test_metrics_kind_conflict;
+          Alcotest.test_case "json export" `Quick test_metrics_json;
+        ] );
+    ]

@@ -70,6 +70,38 @@ let test_prng_bits () =
     if x < 0 || x >= 1024 then Alcotest.fail "bits out of range"
   done
 
+(* Splitting is deterministic: two parents seeded identically yield, split
+   for split, children with identical streams — the property the simulator
+   relies on to give every machine a reproducible private stream. *)
+let test_prng_split_deterministic () =
+  let a = Prng.create ~seed:23 and b = Prng.create ~seed:23 in
+  for round = 1 to 5 do
+    let ca = Prng.split a and cb = Prng.split b in
+    let xa = List.init 50 (fun _ -> Prng.int ca 1_000_000) in
+    let xb = List.init 50 (fun _ -> Prng.int cb 1_000_000) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "split %d reproducible" round)
+      xa xb
+  done
+
+let test_prng_split_child_differs_from_parent () =
+  let parent = Prng.create ~seed:29 in
+  let child = Prng.split parent in
+  let xp = List.init 50 (fun _ -> Prng.int parent 1_000_000) in
+  let xc = List.init 50 (fun _ -> Prng.int child 1_000_000) in
+  Alcotest.(check bool) "child stream is not the parent's" true (xp <> xc)
+
+(* A split must not disturb the parent's own stream relative to a twin that
+   also split once: the draws after the split stay aligned. *)
+let test_prng_parent_stream_after_split () =
+  let a = Prng.create ~seed:31 and b = Prng.create ~seed:31 in
+  ignore (Prng.split a);
+  ignore (Prng.split b);
+  for _ = 1 to 100 do
+    Alcotest.(check int) "parents stay in lockstep" (Prng.int a 1000)
+      (Prng.int b 1000)
+  done
+
 (* --- Kwise_hash --- *)
 
 let test_hash_in_range () =
@@ -227,6 +259,27 @@ let test_r_squared_perfect () =
   let fit = Stats.linear_fit xs ys in
   check_float "r2" 1.0 (Stats.r_squared xs ys fit)
 
+let test_stats_spread () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  (* Sample (n-1) convention. *)
+  check_float ~eps:1e-12 "variance" (5.0 /. 3.0) (Stats.variance xs);
+  check_float ~eps:1e-12 "stddev" (sqrt (5.0 /. 3.0)) (Stats.stddev xs);
+  check_float "single point variance" 0.0 (Stats.variance [| 7.0 |]);
+  let s = Stats.summarize xs in
+  check_float ~eps:1e-12 "summary stddev agrees" (Stats.stddev xs) s.Stats.stddev;
+  Alcotest.(check int) "count" 4 s.Stats.count
+
+let test_stats_errors () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.linear_fit: length mismatch") (fun () ->
+      ignore (Stats.linear_fit [| 1.0; 2.0 |] [| 1.0 |]));
+  Alcotest.check_raises "too few points"
+    (Invalid_argument "Stats.linear_fit: need at least two points") (fun () ->
+      ignore (Stats.linear_fit [| 1.0 |] [| 1.0 |]));
+  Alcotest.check_raises "quantile out of range"
+    (Invalid_argument "Stats.quantile: q out of range") (fun () ->
+      ignore (Stats.quantile 1.5 [| 1.0 |]))
+
 (* --- Table --- *)
 
 let test_table_render () =
@@ -250,6 +303,45 @@ let test_table_csv () =
   Table.add_row t [ "a,b" ];
   let csv = Table.to_csv t in
   Alcotest.(check bool) "escaped" true (contains_substring csv "\"a,b\"")
+
+(* Every border and row line of a rendered table must have the same width
+   regardless of how ragged the cell contents are. *)
+let test_table_alignment () =
+  let t = Table.create ~title:"ragged" ~columns:[ "id"; "value"; "note" ] in
+  Table.add_row t [ "1"; "3.14159"; "short" ];
+  Table.add_row t [ "1024"; "0"; "a considerably longer annotation" ];
+  Table.add_row t [ ""; "-7"; "x" ];
+  let lines =
+    Table.render t |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  (match lines with
+  | title :: body ->
+      Alcotest.(check string) "title line" "ragged" title;
+      let widths = List.map String.length body in
+      (match widths with
+      | w :: rest ->
+          List.iter (Alcotest.(check int) "uniform line width" w) rest
+      | [] -> Alcotest.fail "no body lines");
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "framed" true (l.[0] = '+' || l.[0] = '|'))
+        body
+  | [] -> Alcotest.fail "empty render");
+  (* 3 border lines + header + 3 rows after the title. *)
+  Alcotest.(check int) "line count" 8 (List.length lines)
+
+let test_table_cell_formats () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "negative int" "-7" (Table.cell_int (-7));
+  Alcotest.(check string) "float default decimals" "3.142"
+    (Table.cell_float 3.14159);
+  Alcotest.(check string) "float custom decimals" "3.1"
+    (Table.cell_float ~decimals:1 3.14159);
+  Alcotest.(check string) "float zero decimals" "3"
+    (Table.cell_float ~decimals:0 3.14159);
+  Alcotest.(check string) "sci" "5.000e-01" (Table.cell_sci 0.5);
+  Alcotest.(check string) "sci large" "1.230e+06" (Table.cell_sci 1.23e6)
 
 (* --- qcheck properties --- *)
 
@@ -307,6 +399,12 @@ let () =
           Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_is_permutation;
           Alcotest.test_case "subset distinct" `Quick test_prng_subset;
           Alcotest.test_case "bits width" `Quick test_prng_bits;
+          Alcotest.test_case "split determinism" `Quick
+            test_prng_split_deterministic;
+          Alcotest.test_case "split child differs" `Quick
+            test_prng_split_child_differs_from_parent;
+          Alcotest.test_case "parent stream after split" `Quick
+            test_prng_parent_stream_after_split;
         ] );
       ( "kwise_hash",
         [
@@ -334,12 +432,16 @@ let () =
           Alcotest.test_case "power fit" `Quick test_fit_power;
           Alcotest.test_case "quantile" `Quick test_quantile;
           Alcotest.test_case "r squared" `Quick test_r_squared_perfect;
+          Alcotest.test_case "spread" `Quick test_stats_spread;
+          Alcotest.test_case "error cases" `Quick test_stats_errors;
         ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "row mismatch" `Quick test_table_row_mismatch;
           Alcotest.test_case "csv escaping" `Quick test_table_csv;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "cell formats" `Quick test_table_cell_formats;
         ] );
       ("properties", qsuite);
     ]
