@@ -25,7 +25,7 @@
      dune exec bench/main.exe -- --fast       -- smaller ladders
      dune exec bench/main.exe -- --micro      -- bechamel microbenchmarks too
      dune exec bench/main.exe -- --json F     -- also write the rows to F
-                                                (see Report; schema cc-bench/1) *)
+                                                (see Report; schema cc-bench/2) *)
 
 module Graph = Cc_graph.Graph
 module Gen = Cc_graph.Gen
@@ -82,6 +82,7 @@ let e1 () =
         (fun tau ->
           let net = Net.create ~n in
           let r = Doubling.run net prng g ~tau ~scheme:(Doubling.default_scheme ~n) in
+          Report.observe_net ~id:"E1" net;
           let log_n = Float.log2 (float_of_int n) in
           let log_tau = Float.max 1.0 (Float.log2 (float_of_int tau)) in
           let low_regime = float_of_int tau < float_of_int n /. log_n in
@@ -134,7 +135,9 @@ let e2 () =
   let run scheme seed =
     let net = Net.create ~n in
     let prng = Prng.create ~seed in
-    (Doubling.run net prng g ~tau ~scheme).Doubling.max_tuples_received
+    let r = (Doubling.run net prng g ~tau ~scheme).Doubling.max_tuples_received in
+    Report.observe_net ~id:"E2" net;
+    r
   in
   let lb = run (Doubling.default_scheme ~n) 2 in
   let ub = run Doubling.Unbalanced 2 in
@@ -196,6 +199,7 @@ let e3 () =
       let prng = Prng.create ~seed:3 in
       let net = Net.create ~n in
       let r = Sampler.sample net prng g in
+      Report.observe_net ~id:"E3" net;
       let naive = Walk.mean_cover_time g prng ~trials:(if n <= 48 then 20 else 5) in
       let nf = float_of_int n in
       let normal = (nf ** 0.658) *. (Float.log2 nf ** 2.0) in
@@ -276,6 +280,7 @@ let e4 () =
           in
           let net = Net.create ~n in
           let _, walk_len = Doubling.sample_tree net prng g ~tau0:(2 * n) in
+          Report.observe_net ~id:"E4" net;
           let l3 = Float.log2 (float_of_int n) ** 3.0 in
           Report.record ~id:"E4"
             ~params:[ ("family", Report.str name); ("n", Report.int n) ]
@@ -359,6 +364,7 @@ let e5 () =
             counts.(lookup t) <- counts.(lookup t) + 1
           done;
           let tv = Dist.tv_counts ~counts target in
+          Report.observe_net ~id:"E5" net;
           let floor = 3.0 *. Stats.tv_noise_floor ~samples:trials ~support in
           Report.record ~id:"E5"
             ~params:
@@ -600,6 +606,7 @@ let e10 () =
     (fun walks ->
       let net = Net.create ~n in
       let est = Doubling.pagerank net prng g ~walks_per_node:walks ~epsilon in
+      Report.observe_net ~id:"E10" net;
       let l1 =
         Array.fold_left ( +. ) 0.0
           (Array.mapi (fun i x -> Float.abs (x -. exact.(i))) est)
@@ -733,6 +740,7 @@ let f2 () =
       in
       let total = Net.rounds net in
       let overhead = Net.overhead_rounds net in
+      Report.observe_net ~id:"F2" net;
       Report.record ~id:"F2"
         ~params:[ ("n", Report.int n); ("drop_prob", Report.flt drop_prob) ]
         ~bound:total
@@ -798,6 +806,8 @@ let e11 () =
       ignore (Doubling.sample_tree net_d prng g ~tau0:n);
       let net_s = Net.create ~n in
       let r = Sampler.sample net_s prng g in
+      Report.observe_net ~id:"E11" net_d;
+      Report.observe_net ~id:"E11" net_s;
       Report.record ~id:"E11"
         ~params:[ ("n", Report.int n) ]
         ~extra:
@@ -865,6 +875,7 @@ let a1 () =
             q.Cc_apps.Sparsifier.rayleigh_max;
         ])
     [ 1; 4; 16 ];
+  Report.observe_net ~id:"A1" net;
   Table.print table;
   print_endline
     "Expected shape: both ranges tighten toward [1,1] as trees accumulate —\n\
@@ -964,6 +975,7 @@ let a3 () =
       let prng = Prng.create ~seed:23 in
       let t0 = Unix.gettimeofday () in
       let r = Sampler.sample ~config net prng g in
+      Report.observe_net ~id:"A3" net;
       Report.record ~id:"A3"
         ~params:[ ("configuration", Report.str name); ("n", Report.int n) ]
         ~extra:
@@ -998,6 +1010,7 @@ let a4 () =
   let net = Net.create ~n in
   let prng = Prng.create ~seed:24 in
   let r = Sampler.sample net prng g in
+  Report.observe_net ~id:"A4" net;
   Printf.printf "lollipop n=%d: %d phases, %.0f rounds total\n" n
     r.Sampler.phases r.Sampler.rounds;
   List.iter
@@ -1007,6 +1020,7 @@ let a4 () =
         ~bound:r.Sampler.rounds rounds)
     (Net.ledger net);
   Table.print (Net.ledger_table net);
+  Format.printf "%a" Net.pp_profile net;
   print_endline
     "Expected shape: the Schur/shortcut powering and the per-phase matrix\n\
      power tables dominate (the paper's \"matrix multiplication time per\n\

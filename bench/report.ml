@@ -18,7 +18,33 @@ let experiments : (string * string * float) list ref = ref []
 let titles : (string, string) Hashtbl.t = Hashtbl.create 16
 let records : Json.t list ref = ref []
 
+(* id -> (max per-primitive machine load, worst imbalance) over every net the
+   experiment showed us via [observe_net]. *)
+let loads : (string, int * float) Hashtbl.t = Hashtbl.create 16
+
+(* [reset] clears all accumulated rows so a second [write] in the same
+   process starts from a clean slate instead of duplicating them. *)
+let reset () =
+  experiments := [];
+  records := [];
+  Hashtbl.reset titles;
+  Hashtbl.reset loads
+
 let set_title ~id ~title = Hashtbl.replace titles id title
+
+(* [observe_net ~id net] folds a finished net's load profile into the
+   experiment's cc-bench/2 fields. Experiments call it once per net they
+   build; a no-op without [--json]. *)
+let observe_net ~id net =
+  if enabled () then begin
+    let p = Cc_clique.Net.load_profile net in
+    let prev_load, prev_imb =
+      Option.value ~default:(0, 0.0) (Hashtbl.find_opt loads id)
+    in
+    Hashtbl.replace loads id
+      ( max prev_load p.Cc_clique.Net.max_load,
+        Float.max prev_imb p.Cc_clique.Net.imbalance )
+  end
 
 let finish_experiment ~id ~wall_s =
   if enabled () then
@@ -61,18 +87,28 @@ let write ~fast =
       let doc =
         Json.Obj
           [
-            ("schema", Json.String "cc-bench/1");
+            ("schema", Json.String "cc-bench/2");
             ("fast", Json.Bool fast);
             ( "experiments",
               Json.List
                 (List.rev_map
                    (fun (id, title, wall_s) ->
+                     let load_fields =
+                       match Hashtbl.find_opt loads id with
+                       | None -> []
+                       | Some (max_load, imbalance) ->
+                           [
+                             ("max_load", Json.Int max_load);
+                             ("imbalance", Json.float_opt imbalance);
+                           ]
+                     in
                      Json.Obj
-                       [
-                         ("id", Json.String id);
-                         ("title", Json.String title);
-                         ("wall_s", Json.float_opt wall_s);
-                       ])
+                       ([
+                          ("id", Json.String id);
+                          ("title", Json.String title);
+                          ("wall_s", Json.float_opt wall_s);
+                        ]
+                       @ load_fields))
                    !experiments) );
             ("records", Json.List (List.rev !records));
             ("metrics", Cc_obs.Metrics.to_json ());
@@ -81,4 +117,5 @@ let write ~fast =
       let oc = open_out file in
       output_string oc (Json.to_string_pretty doc);
       output_char oc '\n';
-      close_out oc
+      close_out oc;
+      reset ()

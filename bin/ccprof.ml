@@ -1,0 +1,267 @@
+(* ccprof — offline analyzer for the observability artifacts the repo's
+   tools write:
+
+     summary FILE          per-experiment table of a cc-bench/* JSON run
+     diff BASELINE NEW     regression gate on measured/bound ratios
+     heatmap FILE          render a profile JSONL (cctree --profile FILE)
+     trace FILE            top spans/events of a trace JSONL
+
+   Exit codes: 0 ok; 1 diff found a regression (unless --warn-only);
+   2 unreadable or malformed input. *)
+
+module Json = Cc_obs.Json
+module Benchdata = Cc_obs.Benchdata
+module Profile = Cc_obs.Profile
+module Table = Cc_util.Table
+open Cmdliner
+
+let exit_regression = 1
+let exit_bad_input = 2
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg ->
+      Printf.eprintf "ccprof: %s\n" msg;
+      exit exit_bad_input
+  | s -> s
+
+let load_doc path =
+  match Benchdata.load path with
+  | Ok doc -> doc
+  | Error msg ->
+      Printf.eprintf "ccprof: %s: %s\n" path msg;
+      exit exit_bad_input
+
+let opt_f decimals = function
+  | None -> "-"
+  | Some x -> Printf.sprintf "%.*f" decimals x
+
+let opt_i = function None -> "-" | Some i -> string_of_int i
+
+(* --- summary --- *)
+
+let summary_doc path doc =
+  let aggs = Benchdata.aggregate doc in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s — %s%s" path doc.Benchdata.schema
+           (if doc.Benchdata.fast then " (fast)" else ""))
+      ~columns:
+        [ "experiment"; "rows"; "mean ratio"; "worst ratio"; "wall s";
+          "max load"; "imbalance" ]
+  in
+  List.iter
+    (fun a ->
+      let e = a.Benchdata.exp in
+      Table.add_row table
+        [
+          e.Benchdata.id;
+          Table.cell_int a.Benchdata.rows;
+          opt_f 3 a.Benchdata.mean_ratio;
+          opt_f 3 a.Benchdata.worst_ratio;
+          opt_f 2 e.Benchdata.wall_s;
+          opt_i e.Benchdata.max_load;
+          opt_f 2 e.Benchdata.imbalance;
+        ])
+    aggs;
+  Table.print table;
+  Printf.printf
+    "%d experiments, %d records (ratio = measured / paper bound; imbalance \
+     = hottest machine / balanced ideal)\n"
+    (List.length aggs)
+    (List.length doc.Benchdata.records)
+
+let summary_cmd =
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file = summary_doc file (load_doc file) in
+  let info =
+    Cmd.info "summary" ~doc:"Summarize one cc-bench/* JSON run per experiment."
+  in
+  Cmd.v info Term.(const run $ file_t)
+
+(* --- diff --- *)
+
+let diff_cmd =
+  let old_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE")
+  in
+  let new_t = Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW") in
+  let threshold_t =
+    let doc =
+      "Relative worsening of an experiment's mean measured/bound ratio that \
+       counts as a regression."
+    in
+    Arg.(value & opt float 0.10 & info [ "threshold" ] ~doc ~docv:"FRAC")
+  in
+  let warn_only_t =
+    let doc = "Report regressions but exit 0 anyway." in
+    Arg.(value & flag & info [ "warn-only" ] ~doc)
+  in
+  let run old_file new_file threshold warn_only =
+    let baseline = load_doc old_file and current = load_doc new_file in
+    let d = Benchdata.diff ~threshold ~baseline current in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "%s -> %s (threshold %.0f%%)" old_file new_file
+             (100.0 *. threshold))
+        ~columns:[ "experiment"; "old ratio"; "new ratio"; "change"; "verdict" ]
+    in
+    let row verdict (delta : Benchdata.delta) =
+      Table.add_row table
+        [
+          delta.Benchdata.id;
+          Printf.sprintf "%.3f" delta.Benchdata.old_ratio;
+          Printf.sprintf "%.3f" delta.Benchdata.new_ratio;
+          Printf.sprintf "%+.1f%%" (100.0 *. delta.Benchdata.change);
+          verdict;
+        ]
+    in
+    List.iter (row "REGRESSION") d.Benchdata.regressions;
+    List.iter (row "improved") d.Benchdata.improvements;
+    List.iter (row "ok") d.Benchdata.unchanged;
+    Table.print table;
+    List.iter
+      (fun id -> Printf.printf "only in %s: %s\n" old_file id)
+      d.Benchdata.only_old;
+    List.iter
+      (fun id -> Printf.printf "only in %s: %s\n" new_file id)
+      d.Benchdata.only_new;
+    match d.Benchdata.regressions with
+    | [] -> print_endline "no regressions"
+    | regs ->
+        Printf.printf "%d regression(s) beyond %.0f%%%s\n" (List.length regs)
+          (100.0 *. threshold)
+          (if warn_only then " (warn-only)" else "");
+        if not warn_only then exit exit_regression
+  in
+  let info =
+    Cmd.info "diff"
+      ~doc:
+        "Compare two cc-bench/* runs; nonzero exit when an experiment's \
+         measured/bound ratio worsened beyond the threshold."
+  in
+  Cmd.v info Term.(const run $ old_t $ new_t $ threshold_t $ warn_only_t)
+
+(* --- heatmap --- *)
+
+let heatmap_cmd =
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let width_t =
+    Arg.(
+      value & opt int 64
+      & info [ "width" ] ~doc:"Maximum heatmap columns before bucketing.")
+  in
+  let run file width =
+    match Profile.of_jsonl (read_file file) with
+    | Error msg ->
+        Printf.eprintf "ccprof: %s: %s\n" file msg;
+        exit exit_bad_input
+    | Ok p -> print_string (Profile.render ~max_width:width p)
+  in
+  let info =
+    Cmd.info "heatmap"
+      ~doc:"Render the congestion heatmap of a profile JSONL export."
+  in
+  Cmd.v info Term.(const run $ file_t $ width_t)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let top_t =
+    Arg.(value & opt int 15 & info [ "top" ] ~doc:"Rows to show per table.")
+  in
+  let run file top =
+    let lines =
+      String.split_on_char '\n' (read_file file)
+      |> List.filter (fun l -> l <> "")
+    in
+    let parsed =
+      List.filter_map
+        (fun l -> match Json.of_string l with Ok v -> Some v | Error _ -> None)
+        lines
+    in
+    let typed ty =
+      List.filter
+        (fun v ->
+          Option.bind (Json.member "type" v) Json.to_string_opt = Some ty)
+        parsed
+    in
+    let fnum key v =
+      Option.value ~default:0.0 (Option.bind (Json.member key v) Json.to_float_opt)
+    in
+    let str key v =
+      Option.value ~default:"" (Option.bind (Json.member key v) Json.to_string_opt)
+    in
+    let take n xs = List.filteri (fun i _ -> i < n) xs in
+    let spans =
+      List.sort (fun a b -> compare (fnum "rounds" b) (fnum "rounds" a)) (typed "span")
+    in
+    let span_table =
+      Table.create
+        ~title:(Printf.sprintf "%s — top spans by rounds" file)
+        ~columns:[ "span"; "depth"; "rounds"; "words"; "peak load"; "wall s" ]
+    in
+    List.iter
+      (fun v ->
+        Table.add_row span_table
+          [
+            str "name" v;
+            Printf.sprintf "%.0f" (fnum "depth" v);
+            Printf.sprintf "%.1f" (fnum "rounds" v);
+            Printf.sprintf "%.0f" (fnum "words" v);
+            Printf.sprintf "%.0f" (fnum "max_load" v);
+            Printf.sprintf "%.4f" (fnum "wall_s" v);
+          ])
+      (take top spans);
+    Table.print span_table;
+    let events =
+      List.sort
+        (fun a b -> compare (fnum "max_load" b) (fnum "max_load" a))
+        (typed "event")
+    in
+    let event_table =
+      Table.create
+        ~title:(Printf.sprintf "%s — top net events by per-machine load" file)
+        ~columns:[ "kind"; "label"; "rounds"; "words"; "max load" ]
+    in
+    List.iter
+      (fun v ->
+        Table.add_row event_table
+          [
+            str "kind" v;
+            str "label" v;
+            Printf.sprintf "%.1f" (fnum "rounds" v);
+            Printf.sprintf "%.0f" (fnum "words" v);
+            Printf.sprintf "%.0f" (fnum "max_load" v);
+          ])
+      (take top events);
+    Table.print event_table;
+    Printf.printf "%d spans, %d events\n" (List.length spans)
+      (List.length events)
+  in
+  let info =
+    Cmd.info "trace"
+      ~doc:"Show the hottest spans and net events of a trace JSONL export."
+  in
+  Cmd.v info Term.(const run $ file_t $ top_t)
+
+let main =
+  let doc = "Analyze cc-bench runs, load profiles, and traces offline." in
+  let info = Cmd.info "ccprof" ~version:"1.0.0" ~doc in
+  Cmd.group info [ summary_cmd; diff_cmd; heatmap_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

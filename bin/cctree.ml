@@ -145,14 +145,20 @@ let print_fault_summary faults net =
 
 (* --- observability options (shared by sample / doubling / pagerank) --- *)
 
-type obs = { trace_file : string option; trace_tree : bool; metrics : bool }
+type obs = {
+  trace_file : string option;
+  trace_tree : bool;
+  metrics : bool;
+  profile : string option;  (* "-" = print heatmap; otherwise JSONL path *)
+}
 
 let obs_t =
   let trace_t =
     let doc =
       "Write a Chrome trace_event JSON of the run to $(docv) (load in \
        chrome://tracing or Perfetto): one complete event per span, one \
-       instant event per metered Net primitive."
+       instant event per metered Net primitive. A $(docv) ending in .jsonl \
+       gets the JSON-lines export instead (readable by ccprof trace)."
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
   in
@@ -167,13 +173,27 @@ let obs_t =
     let doc = "Print the metrics registry (counters/gauges/histograms)." in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
-  let combine trace_file trace_tree metrics = { trace_file; trace_tree; metrics } in
-  Term.(const combine $ trace_t $ tree_t $ metrics_t)
+  let profile_t =
+    let doc =
+      "Report the per-machine load profile: without $(docv) (or with '-') \
+       print the machine x label congestion heatmap; with a $(docv) write \
+       the profile as JSON lines for ccprof."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "profile" ] ~doc ~docv:"FILE")
+  in
+  let combine trace_file trace_tree metrics profile =
+    { trace_file; trace_tree; metrics; profile }
+  in
+  Term.(const combine $ trace_t $ tree_t $ metrics_t $ profile_t)
 
 (* Run [f] with a trace collector installed when requested, then write the
-   requested exports. Tracing never perturbs the run: spans and events only
-   observe the booked costs. *)
-let with_obs obs f =
+   requested exports — including [net]'s load profile. Observability never
+   perturbs the run: spans, events, and the profile only observe the booked
+   costs. *)
+let with_obs obs net f =
   let tr =
     if obs.trace_file <> None || obs.trace_tree then
       Some (Cc_obs.Trace.create ())
@@ -188,11 +208,21 @@ let with_obs obs f =
         (match obs.trace_file with
         | Some path ->
             let oc = open_out path in
-            output_string oc (Cc_obs.Trace.to_chrome_json t);
+            output_string oc
+              (if Filename.check_suffix path ".jsonl" then
+                 Cc_obs.Trace.to_jsonl t
+               else Cc_obs.Trace.to_chrome_json t);
             close_out oc
         | None -> ());
         if obs.trace_tree then Format.printf "%a@?" Cc_obs.Trace.pp_tree t);
-    if obs.metrics then Format.printf "%a@?" Cc_obs.Metrics.pp ()
+    if obs.metrics then Format.printf "%a@?" Cc_obs.Metrics.pp ();
+    match obs.profile with
+    | None -> ()
+    | Some "-" -> Format.printf "%a@?" Net.pp_profile net
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Cc_obs.Profile.to_jsonl (Net.obs_profile net));
+        close_out oc
   in
   Fun.protect ~finally:finish f
 
@@ -267,7 +297,7 @@ let sample_cmd =
       }
     in
     let unrecoverable = ref false in
-    with_obs obs (fun () ->
+    with_obs obs net (fun () ->
     for t = 1 to trials do
       (match String.lowercase_ascii method_ with
       | "cc" ->
@@ -325,7 +355,7 @@ let doubling_cmd =
     let n = Graph.n g in
     let net = arm_faults faults (Net.create ~n) in
     let unrecoverable = ref false in
-    with_obs obs (fun () ->
+    with_obs obs net (fun () ->
     if tau > 0 then begin
       let r = Doubling.run net prng g ~tau ~scheme:(Doubling.default_scheme ~n) in
       Printf.printf "# %d iterations, %.0f rounds; walk from vertex 0:\n"
@@ -426,18 +456,21 @@ let count_cmd =
 let pagerank_cmd =
   let eps_t = Arg.(value & opt float 0.15 & info [ "epsilon" ] ~doc:"Restart probability.") in
   let walks_t = Arg.(value & opt int 32 & info [ "walks" ] ~doc:"Walks per vertex.") in
-  let run seed family size file epsilon walks =
+  let run seed family size file epsilon walks obs =
     let prng = Prng.create ~seed in
     let g = load_graph ~family ~size ~file ~prng () in
     let n = Graph.n g in
     let net = Net.create ~n in
+    with_obs obs net (fun () ->
     let est = Doubling.pagerank net prng g ~walks_per_node:walks ~epsilon in
     let exact = Doubling.pagerank_exact g ~epsilon in
     Printf.printf "# rounds: %.0f\n# vertex estimate exact\n" (Net.rounds net);
-    Array.iteri (fun v x -> Printf.printf "%d %.6f %.6f\n" v x exact.(v)) est
+    Array.iteri (fun v x -> Printf.printf "%d %.6f %.6f\n" v x exact.(v)) est)
   in
   let info = Cmd.info "pagerank" ~doc:"PageRank from doubling walks vs power iteration." in
-  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t $ eps_t $ walks_t)
+  Cmd.v info
+    Term.(
+      const run $ seed_t $ family_t $ size_t $ file_t $ eps_t $ walks_t $ obs_t)
 
 (* --- congest --- *)
 

@@ -1,5 +1,9 @@
 type entry = { mutable rounds : float; mutable messages : int; mutable words : int }
 
+(* Per-machine word traffic booked under one label — one row of the
+   machine x label congestion matrix. *)
+type lane = { lane_sent : int array; lane_recv : int array }
+
 type event_kind = Exchange | Broadcast | All_to_all | Aggregate | Charge
 
 type event = {
@@ -8,6 +12,7 @@ type event = {
   rounds : float;
   messages : int;
   words : int;
+  max_load : int;
   total_rounds : float;
 }
 
@@ -20,6 +25,11 @@ type t = {
   mutable total_dropped : int;
   mutable overhead_rounds : float;
   by_label : (string, entry) Hashtbl.t;
+  by_machine : (string, lane) Hashtbl.t;
+  m_sent_words : int array;
+  m_recv_words : int array;
+  m_sent_messages : int array;
+  m_recv_messages : int array;
   mutable injected : Fault.t option;
   mutable sink : (event -> unit) option;
 }
@@ -35,6 +45,11 @@ let create ~n =
     total_dropped = 0;
     overhead_rounds = 0.0;
     by_label = Hashtbl.create 16;
+    by_machine = Hashtbl.create 16;
+    m_sent_words = Array.make n 0;
+    m_recv_words = Array.make n 0;
+    m_sent_messages = Array.make n 0;
+    m_recv_messages = Array.make n 0;
     injected = None;
     sink = None;
   }
@@ -64,7 +79,29 @@ let entry_for t label =
       Hashtbl.add t.by_label label e;
       e
 
-let book t ~kind ~label ~rounds ~messages ~words =
+let lane_for t label =
+  match Hashtbl.find_opt t.by_machine label with
+  | Some l -> l
+  | None ->
+      let l = { lane_sent = Array.make t.n 0; lane_recv = Array.make t.n 0 } in
+      Hashtbl.add t.by_machine label l;
+      l
+
+(* Attribute one primitive's per-machine word traffic to the running totals
+   and the label's lane. [sent]/[recv] are the words machine [i] sent and
+   received in this primitive; [sent_msgs]/[recv_msgs] the message counts. *)
+let attribute t ~label ~sent ~recv ~sent_msgs ~recv_msgs =
+  let l = lane_for t label in
+  for i = 0 to t.n - 1 do
+    l.lane_sent.(i) <- l.lane_sent.(i) + sent.(i);
+    l.lane_recv.(i) <- l.lane_recv.(i) + recv.(i);
+    t.m_sent_words.(i) <- t.m_sent_words.(i) + sent.(i);
+    t.m_recv_words.(i) <- t.m_recv_words.(i) + recv.(i);
+    t.m_sent_messages.(i) <- t.m_sent_messages.(i) + sent_msgs.(i);
+    t.m_recv_messages.(i) <- t.m_recv_messages.(i) + recv_msgs.(i)
+  done
+
+let book t ~kind ~label ~rounds ~messages ~words ~max_load =
   t.total_rounds <- t.total_rounds +. rounds;
   t.total_messages <- t.total_messages + messages;
   t.total_words <- t.total_words + words;
@@ -72,15 +109,31 @@ let book t ~kind ~label ~rounds ~messages ~words =
   e.rounds <- e.rounds +. rounds;
   e.messages <- e.messages + messages;
   e.words <- e.words + words;
-  (* Observability taps: a caller-installed sink and the active trace both
-     see every booked primitive. Pure observation — neither may (nor can,
-     through this interface) change the ledger or the fault schedule. *)
+  (* Observability taps: a caller-installed sink, the metrics registry, and
+     the active trace all see every booked primitive. Pure observation —
+     none may (nor can, through this interface) change the ledger or the
+     fault schedule. *)
+  if max_load > 0 then begin
+    let x = float_of_int max_load in
+    Cc_obs.Metrics.observe "net.max_load" x;
+    Cc_obs.Metrics.observe ("net.max_load." ^ kind_name kind) x
+  end;
   (match t.sink with
-  | Some f -> f { kind; label; rounds; messages; words; total_rounds = t.total_rounds }
+  | Some f ->
+      f
+        {
+          kind;
+          label;
+          rounds;
+          messages;
+          words;
+          max_load;
+          total_rounds = t.total_rounds;
+        }
   | None -> ());
   if Cc_obs.Trace.enabled () then
     Cc_obs.Trace.net_event ~kind:(kind_name kind) ~label ~rounds ~messages
-      ~words ~round_clock:t.total_rounds;
+      ~words ~max_load ~round_clock:t.total_rounds ();
   (* Crash-stop failures fire at round boundaries: booking a primitive ends
      its rounds, so scheduled crashes up to the new clock take effect now. *)
   match t.injected with
@@ -89,6 +142,7 @@ let book t ~kind ~label ~rounds ~messages ~words =
 
 let exchange t ~label packets =
   let sent = Array.make t.n 0 and received = Array.make t.n 0 in
+  let sent_msgs = Array.make t.n 0 and recv_msgs = Array.make t.n 0 in
   let messages = ref 0 and total_words = ref 0 in
   List.iter
     (fun { src; dst; words } ->
@@ -98,6 +152,8 @@ let exchange t ~label packets =
       if src <> dst && words > 0 then begin
         sent.(src) <- sent.(src) + words;
         received.(dst) <- received.(dst) + words;
+        sent_msgs.(src) <- sent_msgs.(src) + 1;
+        recv_msgs.(dst) <- recv_msgs.(dst) + 1;
         incr messages;
         total_words := !total_words + words
       end)
@@ -106,9 +162,12 @@ let exchange t ~label packets =
   for i = 0 to t.n - 1 do
     load := max !load (max sent.(i) received.(i))
   done;
-  if !load > 0 then
+  if !load > 0 then begin
+    attribute t ~label ~sent ~recv:received ~sent_msgs ~recv_msgs;
     let rounds = Float.of_int ((!load + t.n - 1) / t.n) in
-    book t ~kind:Exchange ~label ~rounds ~messages:!messages ~words:!total_words
+    book t ~kind:Exchange ~label ~rounds ~messages:!messages
+      ~words:!total_words ~max_load:!load
+  end
 
 let broadcast t ~label ~src ~words =
   if src < 0 || src >= t.n then invalid_arg "Net.broadcast: bad source";
@@ -122,16 +181,35 @@ let broadcast t ~label ~src ~words =
        the two-step tree's constant factor into the big-O (the same
        convention every other collective here uses). *)
     let rounds = Float.of_int (max 1 ((words + t.n - 1) / t.n)) in
+    (* Attribution is the logical pattern — src emits its payload once, every
+       other machine takes a copy — not the tree's relay hops, so the profile
+       points at the source as the hot machine while the booked rounds keep
+       the tree's balanced cost. *)
+    let sent = Array.make t.n 0 and recv = Array.make t.n words in
+    let sent_msgs = Array.make t.n 0 and recv_msgs = Array.make t.n 1 in
+    sent.(src) <- words;
+    recv.(src) <- 0;
+    sent_msgs.(src) <- t.n - 1;
+    recv_msgs.(src) <- 0;
+    attribute t ~label ~sent ~recv ~sent_msgs ~recv_msgs;
     book t ~kind:Broadcast ~label ~rounds ~messages:(t.n - 1)
       ~words:(words * (t.n - 1))
+      ~max_load:words
 
 let all_to_all t ~label ~words_each =
   if words_each < 0 then invalid_arg "Net.all_to_all: negative payload";
-  if words_each > 0 then
+  if words_each > 0 then begin
     let messages = t.n * (t.n - 1) in
+    let per_machine = words_each * (t.n - 1) in
+    attribute t ~label
+      ~sent:(Array.make t.n per_machine)
+      ~recv:(Array.make t.n per_machine)
+      ~sent_msgs:(Array.make t.n (t.n - 1))
+      ~recv_msgs:(Array.make t.n (t.n - 1));
     book t ~kind:All_to_all ~label
       ~rounds:(Float.of_int (max 1 words_each))
-      ~messages ~words:(messages * words_each)
+      ~messages ~words:(messages * words_each) ~max_load:per_machine
+  end
 
 let aggregate t ~label ?(combinable = true) ~contributors ~dst words_each =
   if dst < 0 || dst >= t.n then invalid_arg "Net.aggregate: bad destination";
@@ -143,17 +221,34 @@ let aggregate t ~label ?(combinable = true) ~contributors ~dst words_each =
         if src = dst then acc else acc + 1)
       0 contributors
   in
-  if k > 0 && words_each > 0 then
+  if k > 0 && words_each > 0 then begin
     let total = k * words_each in
     let rounds =
       if combinable then Float.of_int (max 1 ((words_each + t.n - 1) / t.n))
       else Float.of_int ((total + t.n - 1) / t.n)
     in
+    (* Each contributor emits its share; the destination takes delivery of
+       one combined value when combining is possible, all [k] otherwise. *)
+    let received = if combinable then words_each else total in
+    let sent = Array.make t.n 0 and recv = Array.make t.n 0 in
+    let sent_msgs = Array.make t.n 0 and recv_msgs = Array.make t.n 0 in
+    List.iter
+      (fun src ->
+        if src <> dst then begin
+          sent.(src) <- sent.(src) + words_each;
+          sent_msgs.(src) <- sent_msgs.(src) + 1
+        end)
+      contributors;
+    recv.(dst) <- received;
+    recv_msgs.(dst) <- k;
+    attribute t ~label ~sent ~recv ~sent_msgs ~recv_msgs;
     book t ~kind:Aggregate ~label ~rounds ~messages:k ~words:total
+      ~max_load:(Array.fold_left max received sent)
+  end
 
 let charge t ~label rounds =
   if rounds < 0.0 then invalid_arg "Net.charge: negative rounds";
-  book t ~kind:Charge ~label ~rounds ~messages:0 ~words:0
+  book t ~kind:Charge ~label ~rounds ~messages:0 ~words:0 ~max_load:0
 
 let charge_overhead t ~label rounds =
   charge t ~label rounds;
@@ -185,7 +280,7 @@ let book_retry t ~label ~attempt packets =
   exchange t ~label:(retry_label label) packets;
   let backoff = Float.of_int (1 lsl min 10 (attempt - 1)) in
   book t ~kind:Charge ~label:(retry_label label) ~rounds:backoff ~messages:0
-    ~words:0;
+    ~words:0 ~max_load:0;
   let k = List.length packets in
   t.total_retransmits <- t.total_retransmits + k;
   Cc_obs.Metrics.incr ~by:k "net.retransmits";
@@ -196,7 +291,7 @@ let book_straggle t ~label f =
   if s > 0 then begin
     let rounds = Float.of_int s in
     book t ~kind:Charge ~label:(label ^ ":straggle") ~rounds ~messages:0
-      ~words:0;
+      ~words:0 ~max_load:0;
     t.overhead_rounds <- t.overhead_rounds +. rounds
   end
 
@@ -301,6 +396,69 @@ let ledger t =
             depends on Hashtbl fold order. *)
          match compare r2 r1 with 0 -> compare l1 l2 | c -> c)
 
+(* --- per-machine load profile --- *)
+
+type machine_load = {
+  machine : int;
+  sent_words : int;
+  recv_words : int;
+  sent_messages : int;
+  recv_messages : int;
+  load : int;
+}
+
+type profile = {
+  machines : int;
+  per_machine : machine_load array;
+  max_load : int;
+  mean_load : float;
+  p50_load : float;
+  p95_load : float;
+  imbalance : float;
+  hot : (int * int) list;
+}
+
+let obs_profile t =
+  let rows =
+    Hashtbl.fold
+      (fun label l acc ->
+        {
+          Cc_obs.Profile.label;
+          sent = Array.copy l.lane_sent;
+          recv = Array.copy l.lane_recv;
+        }
+        :: acc)
+      t.by_machine []
+  in
+  Cc_obs.Profile.create ~machines:t.n ~total_words:t.total_words rows
+
+let load_profile ?(top_k = 3) t =
+  let p = obs_profile t in
+  let per_machine =
+    Array.init t.n (fun i ->
+        {
+          machine = i;
+          sent_words = t.m_sent_words.(i);
+          recv_words = t.m_recv_words.(i);
+          sent_messages = t.m_sent_messages.(i);
+          recv_messages = t.m_recv_messages.(i);
+          load = max t.m_sent_words.(i) t.m_recv_words.(i);
+        })
+  in
+  {
+    machines = t.n;
+    per_machine;
+    max_load = Cc_obs.Profile.max_load p;
+    mean_load = Cc_obs.Profile.mean_load p;
+    p50_load = Cc_obs.Profile.quantile p 0.5;
+    p95_load = Cc_obs.Profile.quantile p 0.95;
+    imbalance = Cc_obs.Profile.imbalance p;
+    hot = Cc_obs.Profile.hot ~k:top_k p;
+  }
+
+let pp_profile fmt t =
+  Format.pp_print_string fmt (Cc_obs.Profile.render (obs_profile t))
+
 let reset t =
   t.total_rounds <- 0.0;
   t.total_messages <- 0;
@@ -308,7 +466,14 @@ let reset t =
   t.total_retransmits <- 0;
   t.total_dropped <- 0;
   t.overhead_rounds <- 0.0;
-  Hashtbl.reset t.by_label
+  Hashtbl.reset t.by_label;
+  (* Per-machine profile state is part of the ledger and resets with it; the
+     observability sink is wiring, not state, and stays installed. *)
+  Hashtbl.reset t.by_machine;
+  Array.fill t.m_sent_words 0 t.n 0;
+  Array.fill t.m_recv_words 0 t.n 0;
+  Array.fill t.m_sent_messages 0 t.n 0;
+  Array.fill t.m_recv_messages 0 t.n 0
 
 let word_bits t = max 8 (int_of_float (Float.ceil (Float.log2 (Float.of_int t.n))))
 

@@ -164,6 +164,10 @@ type event = {
   rounds : float;  (** rounds booked by this primitive. *)
   messages : int;
   words : int;
+  max_load : int;
+      (** maximum words any one machine sent or received in this primitive —
+          the per-machine load Lenzen routing charges [ceil (load / n)]
+          rounds for; [0] for analytic {!charge}s. *)
   total_rounds : float;  (** {!rounds} immediately after booking. *)
 }
 
@@ -175,8 +179,53 @@ val set_sink : t -> (event -> unit) option -> unit
     ["all_to_all"], ["aggregate"], ["charge"]). *)
 val kind_name : event_kind -> string
 
+(** {2 Per-machine load profile}
+
+    Alongside the per-label ledger, every routed primitive attributes its
+    word traffic to the machines that carried it: exchanges per packet
+    endpoint, a broadcast to its source (each other machine receiving a
+    copy), an all-to-all evenly, an aggregate to its contributors and
+    destination. Analytic {!charge}s move no attributable words. The profile
+    is pure observation — building it reads the counters and never perturbs
+    the ledger. *)
+
+type machine_load = {
+  machine : int;
+  sent_words : int;  (** words this machine sent, across all labels. *)
+  recv_words : int;
+  sent_messages : int;
+  recv_messages : int;
+  load : int;  (** [max sent_words recv_words] — what rounds are paid for. *)
+}
+
+type profile = {
+  machines : int;
+  per_machine : machine_load array;  (** indexed by machine ID. *)
+  max_load : int;  (** the hottest machine's load. *)
+  mean_load : float;  (** balanced ideal: total booked words / machines. *)
+  p50_load : float;
+  p95_load : float;
+  imbalance : float;
+      (** [max_load /. mean_load]: [~1] for a balanced pattern (all-to-all),
+          [~n] when one machine carries all the traffic. *)
+  hot : (int * int) list;  (** top-k [(machine, load)], descending. *)
+}
+
+(** [load_profile ?top_k t] summarizes the per-machine traffic booked so far
+    ([top_k], default 3, bounds the [hot] list). *)
+val load_profile : ?top_k:int -> t -> profile
+
+(** [obs_profile t] is the full machine × label congestion matrix as a
+    {!Cc_obs.Profile.t}, for heatmap rendering and JSONL export. *)
+val obs_profile : t -> Cc_obs.Profile.t
+
+(** [pp_profile fmt t] renders the congestion heatmap
+    ({!Cc_obs.Profile.render}) for the traffic booked so far. *)
+val pp_profile : Format.formatter -> t -> unit
+
 (** [reset t] zeroes all counters — the totals, the fault-overhead counters,
-    and every per-label entry. *)
+    every per-label entry, and the per-machine load profile. An installed
+    {!set_sink} callback survives a reset. *)
 val reset : t -> unit
 
 (** [words_for_bits t bits] is the number of O(log n)-bit words needed to

@@ -102,3 +102,234 @@ let to_string_pretty v =
   pretty buf 0 v;
   Buffer.add_char buf '\n';
   Buffer.contents buf
+
+(* --- parsing ----------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse_error pos msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" pos msg))
+
+(* A plain recursive-descent parser over the string; [pos] is a cursor. *)
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | Some x -> parse_error !pos (Printf.sprintf "expected %c, found %c" c x)
+    | None -> parse_error !pos (Printf.sprintf "expected %c, found end" c)
+  in
+  let literal word v =
+    let n = String.length word in
+    if !pos + n <= len && String.sub s !pos n = word then begin
+      pos := !pos + n;
+      v
+    end
+    else parse_error !pos ("expected " ^ word)
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> parse_error !pos "invalid \\u escape"
+  in
+  let add_utf8 buf u =
+    (* Encode one scalar value; unpaired surrogates degrade to U+FFFD. *)
+    let u = if u >= 0xD800 && u <= 0xDFFF then 0xFFFD else u in
+    if u < 0x80 then Buffer.add_char buf (Char.chr u)
+    else if u < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else if u < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then parse_error !pos "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= len then parse_error !pos "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'; advance ()
+          | '\\' -> Buffer.add_char buf '\\'; advance ()
+          | '/' -> Buffer.add_char buf '/'; advance ()
+          | 'b' -> Buffer.add_char buf '\b'; advance ()
+          | 'f' -> Buffer.add_char buf '\012'; advance ()
+          | 'n' -> Buffer.add_char buf '\n'; advance ()
+          | 'r' -> Buffer.add_char buf '\r'; advance ()
+          | 't' -> Buffer.add_char buf '\t'; advance ()
+          | 'u' ->
+              advance ();
+              let hex4 () =
+                if !pos + 4 > len then parse_error !pos "truncated \\u escape";
+                let u =
+                  (hex_digit s.[!pos] lsl 12)
+                  lor (hex_digit s.[!pos + 1] lsl 8)
+                  lor (hex_digit s.[!pos + 2] lsl 4)
+                  lor hex_digit s.[!pos + 3]
+                in
+                pos := !pos + 4;
+                u
+              in
+              let u = hex4 () in
+              (* A high surrogate followed by \uDC00..\uDFFF is one scalar. *)
+              if
+                u >= 0xD800 && u <= 0xDBFF
+                && !pos + 6 <= len
+                && s.[!pos] = '\\'
+                && s.[!pos + 1] = 'u'
+              then begin
+                let save = !pos in
+                pos := !pos + 2;
+                let lo = hex4 () in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  add_utf8 buf
+                    (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+                else begin
+                  (* Not a low surrogate: emit U+FFFD, keep [lo] separate. *)
+                  add_utf8 buf u;
+                  pos := save
+                end
+              end
+              else add_utf8 buf u
+          | c -> parse_error !pos (Printf.sprintf "bad escape \\%c" c));
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    let is_float =
+      String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit
+    in
+    if is_float then
+      match float_of_string_opt lit with
+      | Some x -> Float x
+      | None -> parse_error start ("invalid number " ^ lit)
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+          (* Integer literal too large for a native int: keep the value. *)
+          match float_of_string_opt lit with
+          | Some x -> Float x
+          | None -> parse_error start ("invalid number " ^ lit))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error !pos "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (Stdlib.List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (Stdlib.List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> parse_error !pos (Printf.sprintf "unexpected character %c" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then parse_error !pos "trailing content after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> Stdlib.List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float x -> Some x
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List xs -> Some xs | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None

@@ -1,8 +1,9 @@
-(** Minimal JSON construction and serialization.
+(** Minimal JSON construction, serialization, and parsing.
 
     The observability exporters (Chrome traces, JSONL event logs, the bench
-    harness's [--json] trajectory files) need to *emit* JSON but never parse
-    it, so this module is a value type plus a serializer — no external
+    harness's [--json] trajectory files) emit JSON, and the offline [ccprof]
+    analyzer reads those artifacts back, so this module is a value type plus
+    a serializer and a small recursive-descent parser — no external
     dependency. Non-finite floats serialize as [null] (JSON has no NaN). *)
 
 type t =
@@ -30,3 +31,27 @@ val to_string : t -> string
 (** [to_string_pretty v] is an indented serialization (2-space indent),
     for artifacts meant to be read and diffed by humans. *)
 val to_string_pretty : t -> string
+
+(** {1 Parsing} *)
+
+(** [of_string s] parses one JSON value spanning the whole of [s]. Integer
+    literals without a fraction or exponent become [Int] (falling back to
+    [Float] beyond native-int range); [\u] escapes decode to UTF-8, with
+    unpaired surrogates replaced by U+FFFD. The error carries the byte
+    offset of the failure. *)
+val of_string : string -> (t, string) result
+
+(** {1 Accessors}
+
+    Shape-tolerant lookups for reading parsed documents: each returns [None]
+    when the value has a different constructor. *)
+
+(** [member key v] is field [key] of object [v]. *)
+val member : string -> t -> t option
+
+(** [to_float_opt v] is the numeric value of an [Int] or [Float]. *)
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option
+val to_bool_opt : t -> bool option

@@ -1,0 +1,261 @@
+type row = { label : string; sent : int array; recv : int array }
+
+type t = {
+  machines : int;
+  rows : row list;
+  total_sent : int array;
+  total_recv : int array;
+  total_words : int;
+}
+
+let peak_load row =
+  let m = ref 0 in
+  Array.iteri (fun i s -> m := max !m (max s row.recv.(i))) row.sent;
+  !m
+
+let create ~machines ?total_words rows =
+  if machines < 1 then invalid_arg "Profile.create: need at least one machine";
+  List.iter
+    (fun r ->
+      if Array.length r.sent <> machines || Array.length r.recv <> machines
+      then
+        invalid_arg
+          (Printf.sprintf "Profile.create: row %S arrays must have length %d"
+             r.label machines))
+    rows;
+  let total_sent = Array.make machines 0 and total_recv = Array.make machines 0 in
+  List.iter
+    (fun r ->
+      Array.iteri
+        (fun i s ->
+          total_sent.(i) <- total_sent.(i) + s;
+          total_recv.(i) <- total_recv.(i) + r.recv.(i))
+        r.sent)
+    rows;
+  let sum = Array.fold_left ( + ) 0 in
+  let total_words =
+    match total_words with
+    | Some w -> w
+    | None -> max (sum total_sent) (sum total_recv)
+  in
+  let rows =
+    List.sort
+      (fun a b ->
+        match compare (peak_load b) (peak_load a) with
+        | 0 -> compare a.label b.label
+        | c -> c)
+      rows
+  in
+  { machines; rows; total_sent; total_recv; total_words }
+
+let machine_load t i = max t.total_sent.(i) t.total_recv.(i)
+
+let max_load t =
+  let m = ref 0 in
+  for i = 0 to t.machines - 1 do
+    m := max !m (machine_load t i)
+  done;
+  !m
+
+let mean_load t = float_of_int t.total_words /. float_of_int t.machines
+
+let imbalance t =
+  let mean = mean_load t in
+  if mean <= 0.0 then 1.0 else float_of_int (max_load t) /. mean
+
+let quantile t q =
+  let loads =
+    Array.init t.machines (fun i -> float_of_int (machine_load t i))
+  in
+  Array.sort compare loads;
+  let q = Float.min 1.0 (Float.max 0.0 q) in
+  let pos = q *. float_of_int (t.machines - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  let frac = pos -. float_of_int lo in
+  (loads.(lo) *. (1.0 -. frac)) +. (loads.(hi) *. frac)
+
+let hot ?(k = 3) t =
+  let all = List.init t.machines (fun i -> (i, machine_load t i)) in
+  let sorted =
+    List.sort
+      (fun (i, a) (j, b) -> match compare b a with 0 -> compare i j | c -> c)
+      all
+  in
+  List.filteri (fun rank _ -> rank < k) sorted
+  |> List.filter (fun (_, load) -> load > 0)
+
+let summary_line t =
+  Printf.sprintf
+    "load: max %d  mean %.1f  p50 %.1f  p95 %.1f  imbalance %.2f%s"
+    (max_load t) (mean_load t) (quantile t 0.5) (quantile t 0.95)
+    (imbalance t)
+    (match hot ~k:1 t with
+    | (m, load) :: _ -> Printf.sprintf "  hot machine %d (%d words)" m load
+    | [] -> "")
+
+(* --- heatmap ----------------------------------------------------------- *)
+
+let ramp = " .:-=+*#%@"
+
+let intensity ~scale v =
+  if v <= 0 then ramp.[0]
+  else if scale <= 0 then ramp.[0]
+  else
+    let levels = String.length ramp - 1 in
+    (* Any nonzero load is at least level 1 so traffic never disappears. *)
+    let lvl = max 1 (v * levels / scale) in
+    ramp.[min levels lvl]
+
+let render ?(max_width = 64) t =
+  let max_width = max 1 max_width in
+  let bucket = (t.machines + max_width - 1) / max_width in
+  let cols = (t.machines + bucket - 1) / bucket in
+  let cell_of arr c =
+    let m = ref 0 in
+    for i = c * bucket to min (t.machines - 1) ((c + 1) * bucket - 1) do
+      m := max !m arr.(i)
+    done;
+    !m
+  in
+  let row_cells row =
+    Array.init cols (fun c -> max (cell_of row.sent c) (cell_of row.recv c))
+  in
+  let total_cells =
+    Array.init cols (fun c -> max (cell_of t.total_sent c) (cell_of t.total_recv c))
+  in
+  let scale = Array.fold_left max 0 total_cells in
+  let scale =
+    List.fold_left
+      (fun acc row -> Array.fold_left max acc (row_cells row))
+      scale t.rows
+  in
+  let label_w =
+    List.fold_left (fun acc r -> max acc (String.length r.label)) 5 t.rows
+  in
+  let label_w = min 32 label_w in
+  let clip s = if String.length s > label_w then String.sub s 0 label_w else s in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "machine x label congestion heatmap — words, max(sent, recv)\n\
+        %d machines%s; ramp %S scaled to max cell %d\n"
+       t.machines
+       (if bucket > 1 then Printf.sprintf " (%d per column)" bucket else "")
+       ramp scale);
+  let line label cells peak =
+    Buffer.add_string buf (Printf.sprintf "%-*s |" label_w (clip label));
+    Array.iter (fun v -> Buffer.add_char buf (intensity ~scale v)) cells;
+    Buffer.add_string buf (Printf.sprintf "| %8d\n" peak)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s |%s| %8s\n" label_w "label" (String.make cols '-')
+       "peak");
+  List.iter (fun row -> line row.label (row_cells row) (peak_load row)) t.rows;
+  line "TOTAL" total_cells (max_load t);
+  (match hot ~k:1 t with
+  | (m, _) :: _ ->
+      let col = m / bucket in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  %s^ machine %d\n" label_w "" (String.make col ' ')
+           m)
+  | [] -> ());
+  Buffer.add_string buf (summary_line t);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- JSONL ------------------------------------------------------------- *)
+
+let int_array arr = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) arr))
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  let line v =
+    Buffer.add_string buf (Json.to_string v);
+    Buffer.add_char buf '\n'
+  in
+  line
+    (Json.Obj
+       [
+         ("type", Json.String "profile");
+         ("machines", Json.Int t.machines);
+         ("labels", Json.Int (List.length t.rows));
+         ("total_words", Json.Int t.total_words);
+       ]);
+  List.iter
+    (fun row ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.String "label");
+             ("label", Json.String row.label);
+             ("sent", int_array row.sent);
+             ("recv", int_array row.recv);
+           ]))
+    t.rows;
+  line
+    (Json.Obj
+       [
+         ("type", Json.String "summary");
+         ("max_load", Json.Int (max_load t));
+         ("mean_load", Json.float_opt (mean_load t));
+         ("p50", Json.float_opt (quantile t 0.5));
+         ("p95", Json.float_opt (quantile t 0.95));
+         ("imbalance", Json.float_opt (imbalance t));
+         ( "hot",
+           Json.List
+             (List.map
+                (fun (m, load) -> Json.List [ Json.Int m; Json.Int load ])
+                (hot t)) );
+       ]);
+  Buffer.contents buf
+
+let of_jsonl s =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let parse_int_array v =
+    match Json.to_list_opt v with
+    | None -> Error "expected an array of integers"
+    | Some xs ->
+        let arr = Array.make (List.length xs) 0 in
+        let rec go i = function
+          | [] -> Ok arr
+          | Json.Int n :: rest ->
+              arr.(i) <- n;
+              go (i + 1) rest
+          | _ -> Error "expected an array of integers"
+        in
+        go 0 xs
+  in
+  let rec go machines total_words rows = function
+    | [] -> (
+        match machines with
+        | None -> Error "no profile header line"
+        | Some machines ->
+            Ok (create ~machines ?total_words (List.rev rows)))
+    | line :: rest -> (
+        let* v = Json.of_string line in
+        match Option.bind (Json.member "type" v) Json.to_string_opt with
+        | Some "profile" ->
+            let int_field key =
+              Option.bind (Json.member key v) (fun x ->
+                  match x with Json.Int i -> Some i | _ -> None)
+            in
+            go (int_field "machines") (int_field "total_words") rows rest
+        | Some "label" -> (
+            match
+              ( Option.bind (Json.member "label" v) Json.to_string_opt,
+                Json.member "sent" v,
+                Json.member "recv" v )
+            with
+            | Some label, Some sent, Some recv ->
+                let* sent = parse_int_array sent in
+                let* recv = parse_int_array recv in
+                go machines total_words ({ label; sent; recv } :: rows) rest
+            | _ -> Error "malformed label line")
+        | Some "summary" -> go machines total_words rows rest
+        | _ -> Error "line is not a profile/label/summary record")
+  in
+  match go None None [] lines with
+  | exception Invalid_argument msg -> Error msg
+  | r -> r

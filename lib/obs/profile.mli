@@ -1,0 +1,85 @@
+(** Per-machine communication load profiles.
+
+    A profile is the machine × label congestion matrix of one simulated run:
+    for every ledger label, how many words each machine sent and received
+    under it. The metering layer ({!Cc_clique.Net}) builds one from its
+    per-machine ledger; this module only aggregates and renders, so it can
+    also reload a profile from its JSONL export ({!of_jsonl}) for offline
+    analysis with [ccprof].
+
+    The load of a machine is [max (sent, received)] words — the quantity
+    Lenzen routing charges rounds for. The {e imbalance factor} compares the
+    hottest machine against the perfectly balanced ideal:
+    [imbalance = max_load / (total_words / machines)]. An imbalance of 1
+    means the traffic pattern already spreads evenly (an all-to-all); an
+    imbalance of [k] means the run pays [k] times the rounds a perfectly
+    rebalanced schedule would. *)
+
+type row = {
+  label : string;  (** ledger label the traffic was booked under. *)
+  sent : int array;  (** words sent per machine (length [machines]). *)
+  recv : int array;  (** words received per machine. *)
+}
+
+type t = {
+  machines : int;
+  rows : row list;  (** descending by peak load, ties by label. *)
+  total_sent : int array;  (** per-machine totals across all labels. *)
+  total_recv : int array;
+  total_words : int;
+      (** words booked by the metering layer — the denominator of the
+          balanced ideal. At least [max (sum sent, sum recv)]. *)
+}
+
+(** [create ~machines ?total_words rows] assembles a profile, computing the
+    per-machine totals and sorting rows by descending peak load. When
+    [total_words] is omitted it defaults to
+    [max (sum total_sent, sum total_recv)].
+    @raise Invalid_argument if a row's arrays are not [machines] long. *)
+val create : machines:int -> ?total_words:int -> row list -> t
+
+(** {1 Summary statistics} *)
+
+(** [machine_load t i] is [max sent recv] total words at machine [i]. *)
+val machine_load : t -> int -> int
+
+(** [max_load t] is the hottest machine's load. *)
+val max_load : t -> int
+
+(** [mean_load t] is the balanced ideal [total_words / machines]. *)
+val mean_load : t -> float
+
+(** [imbalance t] is [max_load /. mean_load] — how many times more rounds
+    the run's hottest machine costs than a perfectly balanced schedule.
+    [1.0] when the profile carries no traffic. *)
+val imbalance : t -> float
+
+(** [quantile t q] is the [q]-quantile (linear interpolation) of the
+    per-machine loads, e.g. [quantile t 0.95]. *)
+val quantile : t -> float -> float
+
+(** [hot ?k t] is the [k] (default 3) hottest machines as
+    [(machine, load)], descending, zero-load machines omitted. *)
+val hot : ?k:int -> t -> (int * int) list
+
+(** {1 Rendering} *)
+
+(** [render ?max_width t] is an ASCII machine × label heatmap: one row per
+    label plus a totals row, one column per machine (machines are bucketed
+    when there are more than [max_width], default 64, each cell then showing
+    the bucket maximum). Cell intensity uses the ramp [" .:-=+*#%@"] scaled
+    to the global maximum; a [^] marker under the totals row points at the
+    hottest machine. A summary line reports max/mean/p50/p95 load and the
+    imbalance factor. *)
+val render : ?max_width:int -> t -> string
+
+(** [summary_line t] is the one-line max/mean/p50/p95/imbalance summary. *)
+val summary_line : t -> string
+
+(** [to_jsonl t] is the profile as JSON lines: one [profile] header, one
+    [label] line per row, one [summary] trailer. *)
+val to_jsonl : t -> string
+
+(** [of_jsonl s] reloads a profile written by {!to_jsonl} (the summary
+    trailer is ignored and recomputed). *)
+val of_jsonl : string -> (t, string) result

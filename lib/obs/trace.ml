@@ -9,6 +9,7 @@ type span = {
   mutable net_rounds : float;
   mutable net_messages : int;
   mutable net_words : int;
+  mutable net_max_load : int;
   mutable children : span list;
 }
 
@@ -20,6 +21,7 @@ type event = {
   rounds : float;
   messages : int;
   words : int;
+  max_load : int;
   round_clock : float;
 }
 
@@ -80,6 +82,7 @@ let open_span t ~name ~args =
       net_rounds = 0.0;
       net_messages = 0;
       net_words = 0;
+      net_max_load = 0;
       children = [];
     }
   in
@@ -132,10 +135,12 @@ let instant ?(args = []) name =
           rounds = 0.0;
           messages = 0;
           words = 0;
+          max_load = 0;
           round_clock = Float.nan;
         }
 
-let net_event ~kind ~label ~rounds ~messages ~words ~round_clock =
+let net_event ~kind ~label ~rounds ~messages ~words ?(max_load = 0) ~round_clock
+    () =
   match !active with
   | None -> ()
   | Some t ->
@@ -143,7 +148,8 @@ let net_event ~kind ~label ~rounds ~messages ~words ~round_clock =
         (fun { span = sp; _ } ->
           sp.net_rounds <- sp.net_rounds +. rounds;
           sp.net_messages <- sp.net_messages + messages;
-          sp.net_words <- sp.net_words + words)
+          sp.net_words <- sp.net_words + words;
+          sp.net_max_load <- max sp.net_max_load max_load)
         t.stack;
       record_event t
         {
@@ -154,6 +160,7 @@ let net_event ~kind ~label ~rounds ~messages ~words ~round_clock =
           rounds;
           messages;
           words;
+          max_load;
           round_clock;
         }
 
@@ -190,13 +197,13 @@ let pp_tree fmt t =
           "[" ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) args)
           ^ "]"
     in
-    Format.fprintf fmt "%s%-*s %s %8s %9s %10.1f rounds %8d msgs %10d words@,"
-      pad
+    Format.fprintf fmt
+      "%s%-*s %s %8s %9s %10.1f rounds %8d msgs %10d words %8d peak@," pad
       (max 1 (36 - (2 * sp.depth)))
       sp.name args
       (human_time (span_wall sp))
       (human_words sp.alloc_words)
-      sp.net_rounds sp.net_messages sp.net_words;
+      sp.net_rounds sp.net_messages sp.net_words sp.net_max_load;
     List.iter pp sp.children
   in
   Format.fprintf fmt "@[<v>";
@@ -240,6 +247,7 @@ let to_chrome_json t =
                   ("rounds", Json.float_opt sp.net_rounds);
                   ("messages", Json.Int sp.net_messages);
                   ("words", Json.Int sp.net_words);
+                  ("max_load", Json.Int sp.net_max_load);
                   ("alloc_words", Json.float_opt sp.alloc_words);
                 ]) );
         ]
@@ -265,6 +273,7 @@ let to_chrome_json t =
                   ("rounds", Json.float_opt ev.rounds);
                   ("messages", Json.Int ev.messages);
                   ("words", Json.Int ev.words);
+                  ("max_load", Json.Int ev.max_load);
                   ("round_clock", Json.float_opt ev.round_clock);
                 ] );
           ]
@@ -298,6 +307,7 @@ let to_jsonl t =
            ("rounds", Json.float_opt sp.net_rounds);
            ("messages", Json.Int sp.net_messages);
            ("words", Json.Int sp.net_words);
+           ("max_load", Json.Int sp.net_max_load);
          ]);
     List.iter span_lines sp.children
   in
@@ -316,6 +326,7 @@ let to_jsonl t =
              ("rounds", Json.float_opt ev.rounds);
              ("messages", Json.Int ev.messages);
              ("words", Json.Int ev.words);
+             ("max_load", Json.Int ev.max_load);
              ("round_clock", Json.float_opt ev.round_clock);
            ]))
     (events t);

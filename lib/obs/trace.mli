@@ -34,6 +34,9 @@ type span = {
   mutable net_rounds : float;  (** rounds booked while the span was open. *)
   mutable net_messages : int;
   mutable net_words : int;
+  mutable net_max_load : int;
+      (** largest single-primitive per-machine load (words) booked while the
+          span was open — the congestion that drove the span's rounds. *)
   mutable children : span list;  (** completed children, in start order. *)
 }
 
@@ -45,6 +48,9 @@ type event = {
   rounds : float;
   messages : int;
   words : int;
+  max_load : int;
+      (** maximum words any one machine sent or received in this primitive
+          (0 for analytic charges). *)
   round_clock : float;  (** [Net.rounds] immediately after booking. *)
 }
 
@@ -79,9 +85,10 @@ val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
     the innermost open span. No-op without an active collector. *)
 val instant : ?args:(string * string) list -> string -> unit
 
-(** [net_event ~kind ~label ~rounds ~messages ~words ~round_clock] feeds one
-    metered primitive into the active collector: the cost is added to every
-    open span and appended to the event timeline. Called by the
+(** [net_event ~kind ~label ~rounds ~messages ~words ?max_load ~round_clock ()]
+    feeds one metered primitive into the active collector: the cost is added
+    to every open span (with [max_load], default 0, folded into each span's
+    running maximum) and appended to the event timeline. Called by the
     {!Cc_clique.Net} booking layer; no-op without an active collector. *)
 val net_event :
   kind:string ->
@@ -89,7 +96,9 @@ val net_event :
   rounds:float ->
   messages:int ->
   words:int ->
+  ?max_load:int ->
   round_clock:float ->
+  unit ->
   unit
 
 (** {1 Inspection} *)

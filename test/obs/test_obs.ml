@@ -5,6 +5,8 @@
 module Trace = Cc_obs.Trace
 module Metrics = Cc_obs.Metrics
 module Json = Cc_obs.Json
+module Profile = Cc_obs.Profile
+module Benchdata = Cc_obs.Benchdata
 module Net = Cc_clique.Net
 module Prng = Cc_util.Prng
 module Gen = Cc_graph.Gen
@@ -96,7 +98,7 @@ let test_disabled_is_transparent () =
   Alcotest.(check int) "with_span = f () when off" 42 r;
   Trace.instant "ghost-event";
   Trace.net_event ~kind:"charge" ~label:"x" ~rounds:1.0 ~messages:0 ~words:0
-    ~round_clock:1.0;
+    ~round_clock:1.0 ();
   Alcotest.(check (option reject)) "still no collector" None (Trace.current ())
 
 (* --- Net attribution --------------------------------------------------- *)
@@ -233,6 +235,50 @@ let test_pp_tree () =
         (contains_substring ~needle s))
     [ "outer"; "inner"; "rounds" ]
 
+let test_event_overflow_keeps_span_totals () =
+  (* Beyond [max_events] the timeline drops events (counted in
+     [dropped_events]) but span cost attribution must stay exact. *)
+  let t = Trace.create ~clock:(counter_clock ()) ~max_events:5 () in
+  let net = Net.create ~n:4 in
+  let bookings = 12 in
+  Trace.with_trace t (fun () ->
+      Trace.with_span "run" (fun () ->
+          for _ = 1 to bookings do
+            Net.charge net ~label:"c" 1.5
+          done));
+  Alcotest.(check int) "timeline capped" 5 (List.length (Trace.events t));
+  Alcotest.(check int) "dropped counted" (bookings - 5) (Trace.dropped_events t);
+  (match Trace.roots t with
+  | [ run ] ->
+      Alcotest.(check (float 1e-9))
+        "span rounds include dropped events" (Net.rounds net)
+        run.Trace.net_rounds
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots));
+  Alcotest.(check (float 1e-9)) "round totals still equal Net.rounds"
+    (Net.rounds net) (Trace.total_rounds t);
+  (* The drop is surfaced in the rendered tree too. *)
+  Alcotest.(check bool) "pp_tree reports the drop" true
+    (contains_substring ~needle:"7 timeline events dropped"
+       (Format.asprintf "%a" Trace.pp_tree t))
+
+let test_span_tracks_max_load () =
+  let t = Trace.create ~clock:(counter_clock ()) () in
+  let net = Net.create ~n:4 in
+  Trace.with_trace t (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Net.exchange net ~label:"x" [ { Net.src = 0; dst = 1; words = 9 } ];
+          Trace.with_span "inner" (fun () ->
+              Net.exchange net ~label:"y" [ { Net.src = 2; dst = 3; words = 4 } ])));
+  match Trace.roots t with
+  | [ outer ] ->
+      let inner = List.hd outer.Trace.children in
+      Alcotest.(check int) "outer peak" 9 outer.Trace.net_max_load;
+      Alcotest.(check int) "inner peak only its own" 4 inner.Trace.net_max_load;
+      Alcotest.(check (list int))
+        "events carry per-primitive loads" [ 9; 4 ]
+        (List.map (fun (e : Trace.event) -> e.Trace.max_load) (Trace.events t))
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
 (* --- Json -------------------------------------------------------------- *)
 
 let test_json_serialization () =
@@ -254,6 +300,263 @@ let test_json_serialization () =
   let pretty = Json.to_string_pretty v in
   Alcotest.(check bool) "pretty is indented" true
     (contains_substring ~needle:"\n  " pretty)
+
+let test_json_parse_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Bool true; Json.Null ]);
+        ("s", Json.String "q\"uote\nline");
+        ("f", Json.Float 0.5);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "parse inverts serialize" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_parse_numbers () =
+  let parse s =
+    match Json.of_string s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "parse %S failed: %s" s e
+  in
+  Alcotest.(check bool) "bare int stays Int" true (parse "42" = Json.Int 42);
+  Alcotest.(check bool) "negative int" true (parse "-7" = Json.Int (-7));
+  Alcotest.(check bool) "fraction is Float" true (parse "42.0" = Json.Float 42.0);
+  Alcotest.(check bool) "exponent is Float" true (parse "1e3" = Json.Float 1000.0);
+  (match parse "123456789012345678901234567890" with
+  | Json.Float _ -> ()
+  | _ -> Alcotest.fail "out-of-range literal should fall back to Float")
+
+let test_json_parse_escapes () =
+  let parse s =
+    match Json.of_string s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "parse %S failed: %s" s e
+  in
+  Alcotest.(check bool) "simple escapes" true
+    (parse {|"q\"uote\nline\ttab"|} = Json.String "q\"uote\nline\ttab");
+  Alcotest.(check bool) "\\u BMP decodes to UTF-8" true
+    (parse "\"A\\u00e9\"" = Json.String "A\xc3\xa9");
+  Alcotest.(check bool) "surrogate pair decodes" true
+    (parse "\"\\ud83d\\ude00\"" = Json.String "\xf0\x9f\x98\x80");
+  Alcotest.(check bool) "unpaired surrogate replaced" true
+    (parse {|"\ud83dx"|} = Json.String "\xef\xbf\xbdx")
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %S to fail" s
+  in
+  fails "";
+  fails "{\"a\":}";
+  fails "[1,]";
+  fails "1 x" (* trailing garbage *);
+  fails "\"unterminated";
+  fails "nul"
+
+(* --- Profile ------------------------------------------------------------ *)
+
+let two_hot_profile () =
+  Profile.create ~machines:4
+    [
+      { Profile.label = "a"; sent = [| 6; 2; 2; 2 |]; recv = [| 2; 6; 2; 2 |] };
+    ]
+
+let test_profile_stats () =
+  let p = two_hot_profile () in
+  (* Loads are max(sent, recv): [6; 6; 2; 2]; total_words = 12, mean 3. *)
+  Alcotest.(check int) "max load" 6 (Profile.max_load p);
+  Alcotest.(check (float 1e-9)) "mean is balanced ideal" 3.0
+    (Profile.mean_load p);
+  Alcotest.(check (float 1e-9)) "imbalance" 2.0 (Profile.imbalance p);
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 4.0 (Profile.quantile p 0.5);
+  Alcotest.(check (float 1e-9)) "p0 is min" 2.0 (Profile.quantile p 0.0);
+  Alcotest.(check (list (pair int int)))
+    "hot machines, ties by index" [ (0, 6); (1, 6); (2, 2) ]
+    (Profile.hot p)
+
+let test_profile_create_validates () =
+  let bad = { Profile.label = "x"; sent = [| 1 |]; recv = [| 1; 2 |] } in
+  (try
+     ignore (Profile.create ~machines:2 [ bad ]);
+     Alcotest.fail "short arrays accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Profile.create ~machines:0 []);
+    Alcotest.fail "zero machines accepted"
+  with Invalid_argument _ -> ()
+
+let test_profile_render_buckets () =
+  let sent = Array.make 10 0 and recv = Array.make 10 1 in
+  sent.(9) <- 40;
+  let p = Profile.create ~machines:10 [ { Profile.label = "skew"; sent; recv } ] in
+  let s = Profile.render ~max_width:5 p in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " rendered") true
+        (contains_substring ~needle s))
+    [ "(2 per column)"; "TOTAL"; "^ machine 9"; "imbalance" ]
+
+let test_profile_jsonl_roundtrip () =
+  let p =
+    Profile.create ~machines:3 ~total_words:20
+      [
+        { Profile.label = "a"; sent = [| 5; 0; 0 |]; recv = [| 0; 5; 0 |] };
+        { Profile.label = "b"; sent = [| 1; 1; 1 |]; recv = [| 1; 1; 1 |] };
+      ]
+  in
+  match Profile.of_jsonl (Profile.to_jsonl p) with
+  | Error e -> Alcotest.failf "reload failed: %s" e
+  | Ok q ->
+      Alcotest.(check int) "machines" p.Profile.machines q.Profile.machines;
+      Alcotest.(check int) "total_words" p.Profile.total_words
+        q.Profile.total_words;
+      Alcotest.(check int) "max load" (Profile.max_load p) (Profile.max_load q);
+      Alcotest.(check (float 1e-9))
+        "imbalance" (Profile.imbalance p) (Profile.imbalance q);
+      Alcotest.(check (list string))
+        "rows and order survive"
+        (List.map (fun (r : Profile.row) -> r.Profile.label) p.Profile.rows)
+        (List.map (fun (r : Profile.row) -> r.Profile.label) q.Profile.rows);
+      Alcotest.(check string) "render identical" (Profile.render p)
+        (Profile.render q)
+
+let test_profile_of_jsonl_rejects_garbage () =
+  (match Profile.of_jsonl "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty input accepted");
+  match Profile.of_jsonl "{\"type\":\"label\",\"label\":\"x\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "label without arrays accepted"
+
+(* --- Benchdata ---------------------------------------------------------- *)
+
+let synthetic_bench =
+  {|{
+  "schema": "cc-bench/2",
+  "fast": true,
+  "experiments": [
+    {"id": "E1", "title": "first", "wall_s": 1.5, "max_load": 10, "imbalance": 2.0}
+  ],
+  "records": [
+    {"experiment": "E1", "params": {"n": 8}, "measured": 4.0, "bound": 4.0, "ratio": 1.0},
+    {"experiment": "E1", "params": {"n": 16}, "measured": 8.0, "bound": 4.0, "ratio": 2.0},
+    {"experiment": "X", "params": {}, "measured": 3.0}
+  ]
+}|}
+
+let test_benchdata_of_string () =
+  match Benchdata.of_string synthetic_bench with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok doc ->
+      Alcotest.(check string) "schema" "cc-bench/2" doc.Benchdata.schema;
+      Alcotest.(check bool) "fast" true doc.Benchdata.fast;
+      (match doc.Benchdata.experiments with
+      | [ e ] ->
+          Alcotest.(check string) "id" "E1" e.Benchdata.id;
+          Alcotest.(check (option int)) "max_load" (Some 10) e.Benchdata.max_load;
+          Alcotest.(check (option (float 0.0)))
+            "imbalance" (Some 2.0) e.Benchdata.imbalance
+      | es -> Alcotest.failf "expected one experiment, got %d" (List.length es));
+      Alcotest.(check int) "records" 3 (List.length doc.Benchdata.records);
+      let aggs = Benchdata.aggregate doc in
+      (match aggs with
+      | [ e1; x ] ->
+          Alcotest.(check string) "E1 listed first" "E1" e1.Benchdata.exp.Benchdata.id;
+          Alcotest.(check int) "E1 rows" 2 e1.Benchdata.rows;
+          Alcotest.(check (option (float 1e-9)))
+            "E1 mean ratio" (Some 1.5) e1.Benchdata.mean_ratio;
+          Alcotest.(check (option (float 1e-9)))
+            "E1 worst ratio" (Some 2.0) e1.Benchdata.worst_ratio;
+          Alcotest.(check string) "record-only id appended" "X"
+            x.Benchdata.exp.Benchdata.id;
+          Alcotest.(check (option reject))
+            "no ratio -> no mean" None x.Benchdata.mean_ratio
+      | _ -> Alcotest.failf "expected 2 aggregates, got %d" (List.length aggs));
+      (* First-parsed param stringification matches the printed tables. *)
+      let r = List.hd doc.Benchdata.records in
+      Alcotest.(check (list (pair string string)))
+        "params stringified" [ ("n", "8") ] r.Benchdata.params
+
+let test_benchdata_rejects_wrong_schema () =
+  (match Benchdata.of_string "{\"schema\": \"other/1\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign schema accepted");
+  match Benchdata.of_string "{\"records\": []}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "schema-less document accepted"
+
+(* A doc with one ratio-bearing record per (id, ratio) pair. *)
+let doc_of_ratios pairs =
+  {
+    Benchdata.schema = "cc-bench/2";
+    fast = true;
+    experiments =
+      List.map
+        (fun (id, _) ->
+          {
+            Benchdata.id;
+            title = id;
+            wall_s = None;
+            max_load = None;
+            imbalance = None;
+          })
+        pairs;
+    records =
+      List.map
+        (fun (id, ratio) ->
+          {
+            Benchdata.experiment = id;
+            params = [];
+            measured = Some ratio;
+            bound = Some 1.0;
+            ratio = Some ratio;
+          })
+        pairs;
+  }
+
+let delta_ids = List.map (fun (d : Benchdata.delta) -> d.Benchdata.id)
+
+let test_benchdata_diff_partitions () =
+  let baseline =
+    doc_of_ratios [ ("A", 1.0); ("B", 1.0); ("C", 1.0); ("D", 1.0) ]
+  in
+  let current =
+    doc_of_ratios [ ("A", 1.2); ("B", 0.8); ("C", 1.05); ("E", 1.0) ]
+  in
+  let d = Benchdata.diff ~baseline current in
+  Alcotest.(check (list string)) "regressions" [ "A" ] (delta_ids d.Benchdata.regressions);
+  Alcotest.(check (list string)) "improvements" [ "B" ] (delta_ids d.Benchdata.improvements);
+  Alcotest.(check (list string)) "unchanged" [ "C" ] (delta_ids d.Benchdata.unchanged);
+  Alcotest.(check (list string)) "dropped experiments reported" [ "D" ]
+    d.Benchdata.only_old;
+  Alcotest.(check (list string)) "new experiments reported" [ "E" ]
+    d.Benchdata.only_new;
+  (match d.Benchdata.regressions with
+  | [ a ] ->
+      Alcotest.(check (float 1e-9)) "relative change" 0.2 a.Benchdata.change
+  | _ -> Alcotest.fail "expected exactly one regression");
+  (* A looser threshold absorbs the 20% drift. *)
+  let loose = Benchdata.diff ~threshold:0.25 ~baseline current in
+  Alcotest.(check (list string)) "loose threshold: no regressions" []
+    (delta_ids loose.Benchdata.regressions);
+  Alcotest.(check (list string))
+    "loose threshold: all within band" [ "A"; "B"; "C" ]
+    (delta_ids loose.Benchdata.unchanged)
+
+let test_benchdata_diff_self_is_clean () =
+  let doc = doc_of_ratios [ ("A", 1.37); ("B", 0.92) ] in
+  let d = Benchdata.diff ~baseline:doc doc in
+  Alcotest.(check (list string)) "no regressions" [] (delta_ids d.Benchdata.regressions);
+  Alcotest.(check (list string)) "no improvements" [] (delta_ids d.Benchdata.improvements);
+  Alcotest.(check int) "all unchanged" 2 (List.length d.Benchdata.unchanged);
+  List.iter
+    (fun (dl : Benchdata.delta) ->
+      Alcotest.(check (float 0.0)) "zero change" 0.0 dl.Benchdata.change)
+    d.Benchdata.unchanged
 
 (* --- Metrics ----------------------------------------------------------- *)
 
@@ -337,9 +640,46 @@ let () =
           Alcotest.test_case "chrome trace_event" `Quick test_chrome_export;
           Alcotest.test_case "jsonl" `Quick test_jsonl_export;
           Alcotest.test_case "span tree pretty-printer" `Quick test_pp_tree;
+          Alcotest.test_case "event overflow keeps span totals" `Quick
+            test_event_overflow_keeps_span_totals;
+          Alcotest.test_case "spans track peak per-machine load" `Quick
+            test_span_tracks_max_load;
         ] );
       ( "json",
-        [ Alcotest.test_case "serialization and escaping" `Quick test_json_serialization ] );
+        [
+          Alcotest.test_case "serialization and escaping" `Quick
+            test_json_serialization;
+          Alcotest.test_case "parse inverts serialize" `Quick
+            test_json_parse_roundtrip;
+          Alcotest.test_case "number literals" `Quick test_json_parse_numbers;
+          Alcotest.test_case "string escapes and \\u" `Quick
+            test_json_parse_escapes;
+          Alcotest.test_case "malformed input rejected" `Quick
+            test_json_parse_errors;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "summary statistics" `Quick test_profile_stats;
+          Alcotest.test_case "create validates shapes" `Quick
+            test_profile_create_validates;
+          Alcotest.test_case "heatmap buckets wide profiles" `Quick
+            test_profile_render_buckets;
+          Alcotest.test_case "jsonl round-trip" `Quick
+            test_profile_jsonl_roundtrip;
+          Alcotest.test_case "of_jsonl rejects garbage" `Quick
+            test_profile_of_jsonl_rejects_garbage;
+        ] );
+      ( "benchdata",
+        [
+          Alcotest.test_case "parse and aggregate" `Quick
+            test_benchdata_of_string;
+          Alcotest.test_case "schema gate" `Quick
+            test_benchdata_rejects_wrong_schema;
+          Alcotest.test_case "diff partitions by threshold" `Quick
+            test_benchdata_diff_partitions;
+          Alcotest.test_case "self-diff is clean" `Quick
+            test_benchdata_diff_self_is_clean;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counters, gauges, histograms" `Quick
