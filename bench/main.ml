@@ -18,6 +18,7 @@
      E10 Section 1.1: PageRank from polylog walks
      F1  Figure 1: the midpoint request/multiset/matching pipeline, narrated
      F2  fault injection: recovery overhead vs message-drop probability
+     D1  determinism: same-seed runs produce byte-identical recorder digests
 
    Usage:
      dune exec bench/main.exe                 -- all experiments
@@ -771,6 +772,69 @@ let f2 () =
      modest fraction of the fault-free rounds until drops are frequent\n\
      enough to trigger second-wave retries and their exponential backoff."
 
+(* ---------------------------------------------------------------- D1 --- *)
+
+(* The replay workflow (ccreplay, CI determinism job) relies on the event
+   stream being a pure function of the seed. D1 pins that: two sampler runs
+   with identical seeds must produce byte-identical recorder digests and a
+   clean invariant report; the reported measurement is 1.0 iff both hold,
+   gated against bound = 1.0 so any nondeterminism regression trips the
+   ccprof diff gate. *)
+
+let d1 () =
+  section "D1" "determinism: same seed twice -> identical recorder digests";
+  let n = if !fast then 16 else 32 in
+  let seed = 42 in
+  let run () =
+    let prng = Prng.create ~seed in
+    let g = Gen.build prng Gen.Lollipop ~n in
+    let net = Net.create ~n:(Graph.n g) in
+    let recorder = Cc_obs.Recorder.create ~machines:(Graph.n g) () in
+    let inv = Cc_obs.Invariant.create ~machines:(Graph.n g) () in
+    ignore (Net.attach_recorder net recorder);
+    ignore (Net.attach_invariant net inv);
+    ignore (Sampler.sample net prng g);
+    let violations =
+      Cc_obs.Invariant.count inv + List.length (Net.ledger_violations net inv)
+    in
+    (Cc_obs.Recorder.digest_hex recorder, Cc_obs.Recorder.total recorder,
+     violations, net)
+  in
+  let d_a, total_a, viol_a, net = run () in
+  let d_b, total_b, viol_b, _ = run () in
+  let identical = String.equal d_a d_b && total_a = total_b in
+  let clean = viol_a = 0 && viol_b = 0 in
+  Report.observe_net ~id:"D1" net;
+  Report.record ~id:"D1"
+    ~params:[ ("n", Report.int n); ("seed", Report.int seed) ]
+    ~bound:1.0
+    ~extra:
+      [
+        ("digest_a", Report.str d_a);
+        ("digest_b", Report.str d_b);
+        ("records", Report.int total_a);
+        ("violations", Report.int (viol_a + viol_b));
+      ]
+    (if identical && clean then 1.0 else 0.0);
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "two sampler runs, lollipop(%d), seed %d: recorder digests" n seed)
+      ~columns:[ "run"; "records"; "digest"; "violations" ]
+  in
+  Table.add_row table
+    [ "A"; string_of_int total_a; d_a; string_of_int viol_a ];
+  Table.add_row table
+    [ "B"; string_of_int total_b; d_b; string_of_int viol_b ];
+  Table.print table;
+  Printf.printf "identical digests: %b, invariants clean: %b\n" identical clean;
+  if not (identical && clean) then
+    print_endline
+      "DETERMINISM REGRESSION: same-seed runs diverged (or violated an \
+       invariant); use ccreplay diff on recorded logs to find the first \
+       divergent event."
+
 (* --------------------------------------------------------------- E11 --- *)
 
 let e11 () =
@@ -1150,6 +1214,7 @@ let () =
   run_exp "E11" e11;
   run_exp "F1" f1;
   run_exp "F2" f2;
+  run_exp "D1" d1;
   run_exp "A1" a1;
   run_exp "A2" a2;
   run_exp "A3" a3;

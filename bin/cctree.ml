@@ -150,6 +150,7 @@ type obs = {
   trace_tree : bool;
   metrics : bool;
   profile : string option;  (* "-" = print heatmap; otherwise JSONL path *)
+  record : string option;  (* flight-recorder JSONL path *)
 }
 
 let obs_t =
@@ -184,10 +185,19 @@ let obs_t =
       & opt ~vopt:(Some "-") (some string) None
       & info [ "profile" ] ~doc ~docv:"FILE")
   in
-  let combine trace_file trace_tree metrics profile =
-    { trace_file; trace_tree; metrics; profile }
+  let record_t =
+    let doc =
+      "Attach the flight recorder and the online invariant monitor to the \
+       run and write the recorded event log (JSON lines with a chain \
+       digest) to $(docv) — replayable with ccreplay check/diff/timeline. \
+       Invariant violations are reported on stderr."
+    in
+    Arg.(value & opt (some string) None & info [ "record" ] ~doc ~docv:"FILE")
   in
-  Term.(const combine $ trace_t $ tree_t $ metrics_t $ profile_t)
+  let combine trace_file trace_tree metrics profile record =
+    { trace_file; trace_tree; metrics; profile; record }
+  in
+  Term.(const combine $ trace_t $ tree_t $ metrics_t $ profile_t $ record_t)
 
 (* Run [f] with a trace collector installed when requested, then write the
    requested exports — including [net]'s load profile. Observability never
@@ -200,6 +210,16 @@ let with_obs obs net f =
     else None
   in
   (match tr with Some t -> Cc_obs.Trace.install t | None -> ());
+  let recording =
+    match obs.record with
+    | None -> None
+    | Some path ->
+        let r = Cc_obs.Recorder.create ~machines:(Net.n net) () in
+        let inv = Cc_obs.Invariant.create ~machines:(Net.n net) () in
+        ignore (Net.attach_recorder net r);
+        ignore (Net.attach_invariant net inv);
+        Some (path, r, inv)
+  in
   let finish () =
     Cc_obs.Trace.uninstall ();
     (match tr with
@@ -216,6 +236,24 @@ let with_obs obs net f =
         | None -> ());
         if obs.trace_tree then Format.printf "%a@?" Cc_obs.Trace.pp_tree t);
     if obs.metrics then Format.printf "%a@?" Cc_obs.Metrics.pp ();
+    (match recording with
+    | None -> ()
+    | Some (path, r, inv) ->
+        let oc = open_out path in
+        output_string oc (Cc_obs.Recorder.to_jsonl r);
+        close_out oc;
+        let vs =
+          Cc_obs.Invariant.violations inv @ Net.ledger_violations net inv
+        in
+        Format.eprintf "# recorded %d events -> %s (digest %s)@."
+          (Cc_obs.Recorder.total r) path
+          (Cc_obs.Recorder.digest_hex r);
+        if vs <> [] then begin
+          Format.eprintf "# %d invariant violation(s):@." (List.length vs);
+          List.iter
+            (fun v -> Format.eprintf "#   %a@." Cc_obs.Invariant.pp_violation v)
+            vs
+        end);
     match obs.profile with
     | None -> ()
     | Some "-" -> Format.printf "%a@?" Net.pp_profile net

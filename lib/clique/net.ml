@@ -14,7 +14,13 @@ type event = {
   words : int;
   max_load : int;
   total_rounds : float;
+  sent : int array;
+  recv : int array;
+  total_retransmits : int;
+  total_dropped : int;
 }
+
+type sink_id = int
 
 type t = {
   n : int;
@@ -31,7 +37,11 @@ type t = {
   m_sent_messages : int array;
   m_recv_messages : int array;
   mutable injected : Fault.t option;
-  mutable sink : (event -> unit) option;
+  (* Sinks in subscription order; the compat slot tracks the subscription
+     installed through the legacy set_sink interface. *)
+  mutable sinks : (sink_id * (event -> unit)) list;
+  mutable next_sink : sink_id;
+  mutable compat_sink : sink_id option;
 }
 
 let create ~n =
@@ -51,12 +61,31 @@ let create ~n =
     m_sent_messages = Array.make n 0;
     m_recv_messages = Array.make n 0;
     injected = None;
-    sink = None;
+    sinks = [];
+    next_sink = 0;
+    compat_sink = None;
   }
 
 let n t = t.n
 let faults t = t.injected
-let set_sink t sink = t.sink <- sink
+
+let add_sink t f =
+  let id = t.next_sink in
+  t.next_sink <- id + 1;
+  t.sinks <- t.sinks @ [ (id, f) ];
+  id
+
+let remove_sink t id = t.sinks <- List.filter (fun (i, _) -> i <> id) t.sinks
+
+let set_sink t sink =
+  (match t.compat_sink with
+  | Some id ->
+      remove_sink t id;
+      t.compat_sink <- None
+  | None -> ());
+  match sink with
+  | Some f -> t.compat_sink <- Some (add_sink t f)
+  | None -> ()
 
 let kind_name = function
   | Exchange -> "exchange"
@@ -101,7 +130,8 @@ let attribute t ~label ~sent ~recv ~sent_msgs ~recv_msgs =
     t.m_recv_messages.(i) <- t.m_recv_messages.(i) + recv_msgs.(i)
   done
 
-let book t ~kind ~label ~rounds ~messages ~words ~max_load =
+let book ?(sent = [||]) ?(recv = [||]) t ~kind ~label ~rounds ~messages ~words
+    ~max_load =
   t.total_rounds <- t.total_rounds +. rounds;
   t.total_messages <- t.total_messages + messages;
   t.total_words <- t.total_words + words;
@@ -109,7 +139,7 @@ let book t ~kind ~label ~rounds ~messages ~words ~max_load =
   e.rounds <- e.rounds +. rounds;
   e.messages <- e.messages + messages;
   e.words <- e.words + words;
-  (* Observability taps: a caller-installed sink, the metrics registry, and
+  (* Observability taps: caller-installed sinks, the metrics registry, and
      the active trace all see every booked primitive. Pure observation —
      none may (nor can, through this interface) change the ledger or the
      fault schedule. *)
@@ -118,9 +148,10 @@ let book t ~kind ~label ~rounds ~messages ~words ~max_load =
     Cc_obs.Metrics.observe "net.max_load" x;
     Cc_obs.Metrics.observe ("net.max_load." ^ kind_name kind) x
   end;
-  (match t.sink with
-  | Some f ->
-      f
+  (match t.sinks with
+  | [] -> ()
+  | sinks ->
+      let ev =
         {
           kind;
           label;
@@ -129,8 +160,13 @@ let book t ~kind ~label ~rounds ~messages ~words ~max_load =
           words;
           max_load;
           total_rounds = t.total_rounds;
+          sent;
+          recv;
+          total_retransmits = t.total_retransmits;
+          total_dropped = t.total_dropped;
         }
-  | None -> ());
+      in
+      List.iter (fun (_, f) -> f ev) sinks);
   if Cc_obs.Trace.enabled () then
     Cc_obs.Trace.net_event ~kind:(kind_name kind) ~label ~rounds ~messages
       ~words ~max_load ~round_clock:t.total_rounds ();
@@ -166,7 +202,7 @@ let exchange t ~label packets =
     attribute t ~label ~sent ~recv:received ~sent_msgs ~recv_msgs;
     let rounds = Float.of_int ((!load + t.n - 1) / t.n) in
     book t ~kind:Exchange ~label ~rounds ~messages:!messages
-      ~words:!total_words ~max_load:!load
+      ~words:!total_words ~max_load:!load ~sent ~recv:received
   end
 
 let broadcast t ~label ~src ~words =
@@ -194,21 +230,22 @@ let broadcast t ~label ~src ~words =
     attribute t ~label ~sent ~recv ~sent_msgs ~recv_msgs;
     book t ~kind:Broadcast ~label ~rounds ~messages:(t.n - 1)
       ~words:(words * (t.n - 1))
-      ~max_load:words
+      ~max_load:words ~sent ~recv
 
 let all_to_all t ~label ~words_each =
   if words_each < 0 then invalid_arg "Net.all_to_all: negative payload";
   if words_each > 0 then begin
     let messages = t.n * (t.n - 1) in
     let per_machine = words_each * (t.n - 1) in
-    attribute t ~label
-      ~sent:(Array.make t.n per_machine)
-      ~recv:(Array.make t.n per_machine)
+    let sent = Array.make t.n per_machine
+    and recv = Array.make t.n per_machine in
+    attribute t ~label ~sent ~recv
       ~sent_msgs:(Array.make t.n (t.n - 1))
       ~recv_msgs:(Array.make t.n (t.n - 1));
     book t ~kind:All_to_all ~label
       ~rounds:(Float.of_int (max 1 words_each))
-      ~messages ~words:(messages * words_each) ~max_load:per_machine
+      ~messages ~words:(messages * words_each) ~max_load:per_machine ~sent
+      ~recv
   end
 
 let aggregate t ~label ?(combinable = true) ~contributors ~dst words_each =
@@ -244,6 +281,7 @@ let aggregate t ~label ?(combinable = true) ~contributors ~dst words_each =
     attribute t ~label ~sent ~recv ~sent_msgs ~recv_msgs;
     book t ~kind:Aggregate ~label ~rounds ~messages:k ~words:total
       ~max_load:(Array.fold_left max received sent)
+      ~sent ~recv
   end
 
 let charge t ~label rounds =
@@ -519,3 +557,43 @@ let pp_ledger fmt t =
   if t.total_retransmits > 0 || t.total_dropped > 0 || t.overhead_rounds > 0.0
   then Format.fprintf fmt "%a@," pp_fault_summary t;
   Format.fprintf fmt "%s@]" (Cc_util.Table.render (ledger_table t))
+
+(* --- flight recorder / invariant glue ---
+
+   Cc_obs sits below this library, so the recorder and the invariant
+   monitor define their own canonical record type; these adapters subscribe
+   them to the event bus and translate each event. *)
+
+let attach_recorder t r =
+  add_sink t (fun e ->
+      Cc_obs.Recorder.add r ~kind:(kind_name e.kind) ~label:e.label
+        ~rounds:e.rounds ~round_end:e.total_rounds ~messages:e.messages
+        ~words:e.words ~max_load:e.max_load ~sent:e.sent ~recv:e.recv
+        ~retransmits:e.total_retransmits ~dropped:e.total_dropped)
+
+let attach_invariant t inv =
+  let seq = ref 0 in
+  add_sink t (fun e ->
+      let r =
+        {
+          Cc_obs.Recorder.seq = !seq;
+          kind = kind_name e.kind;
+          label = e.label;
+          round_start = e.total_rounds -. e.rounds;
+          round_end = e.total_rounds;
+          rounds = e.rounds;
+          messages = e.messages;
+          words = e.words;
+          max_load = e.max_load;
+          sent = e.sent;
+          recv = e.recv;
+          retransmits = e.total_retransmits;
+          dropped = e.total_dropped;
+        }
+      in
+      incr seq;
+      ignore (Cc_obs.Invariant.observe inv r))
+
+let ledger_violations t inv =
+  Cc_obs.Invariant.check_ledger inv ~ledger:(ledger t) ~rounds:t.total_rounds
+    ~messages:t.total_messages ~words:t.total_words

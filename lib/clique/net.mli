@@ -150,10 +150,10 @@ val ledger : t -> (string * float * int * int) list
 (** {1 Observability}
 
     Every booked primitive is mirrored to two places {e after} the ledger
-    update: the optional per-net {!set_sink} callback, and the process-wide
-    {!Cc_obs.Trace} collector (when one is installed). Neither path touches
-    the ledger or draws randomness, so an observed run is bit-identical to a
-    bare one. *)
+    update: the per-net event bus ({!add_sink} subscribers, called in
+    subscription order), and the process-wide {!Cc_obs.Trace} collector
+    (when one is installed). Neither path touches the ledger or draws
+    randomness, so an observed run is bit-identical to a bare one. *)
 
 (** The metering primitive a cost was booked under. *)
 type event_kind = Exchange | Broadcast | All_to_all | Aggregate | Charge
@@ -169,11 +169,50 @@ type event = {
           the per-machine load Lenzen routing charges [ceil (load / n)]
           rounds for; [0] for analytic {!charge}s. *)
   total_rounds : float;  (** {!rounds} immediately after booking. *)
+  sent : int array;
+      (** words each machine sent in this primitive (one slot per machine;
+          [[||]] for analytic {!charge}s, which route no traffic). Shared
+          with the booking layer for the duration of the callback — sinks
+          that retain it must copy. *)
+  recv : int array;  (** words each machine received; same shape as [sent]. *)
+  total_retransmits : int;  (** {!retransmits} at booking time. *)
+  total_dropped : int;  (** {!dropped} at booking time. *)
 }
 
-(** [set_sink t sink] installs (or with [None] removes) a callback invoked
-    once per booked primitive. *)
+(** Handle for one event-bus subscription. *)
+type sink_id
+
+(** [add_sink t f] subscribes [f] to the event bus: it is invoked once per
+    booked primitive, after earlier subscribers. Subscriptions survive
+    {!reset}. *)
+val add_sink : t -> (event -> unit) -> sink_id
+
+(** [remove_sink t id] cancels a subscription (idempotent). *)
+val remove_sink : t -> sink_id -> unit
+
+(** [set_sink t sink] installs (or with [None] removes) a single callback —
+    a thin compatibility wrapper over {!add_sink} / {!remove_sink} that
+    manages one dedicated subscription slot. Other {!add_sink} subscribers
+    are unaffected. *)
 val set_sink : t -> (event -> unit) option -> unit
+
+(** [attach_recorder t r] subscribes the flight recorder [r] to the event
+    bus: every booked primitive is appended to [r] as a canonical
+    {!Cc_obs.Recorder.record} (per-machine words copied, fault counters
+    snapshotted). *)
+val attach_recorder : t -> Cc_obs.Recorder.t -> sink_id
+
+(** [attach_invariant t inv] subscribes the invariant monitor [inv] to the
+    event bus for online checking of every booked primitive (Lenzen cap,
+    conservation, round monotonicity). Violations accumulate in [inv] and
+    in the Metrics registry; see {!Cc_obs.Invariant}. *)
+val attach_invariant : t -> Cc_obs.Invariant.t -> sink_id
+
+(** [ledger_violations t inv] reconciles the event stream [inv] has seen
+    against [t]'s ledger and totals ({!Cc_obs.Invariant.check_ledger});
+    call once at end of run, with [inv] attached since [t]'s creation (or
+    last {!reset}). *)
+val ledger_violations : t -> Cc_obs.Invariant.t -> Cc_obs.Invariant.violation list
 
 (** [kind_name k] is the lowercase wire name (["exchange"], ["broadcast"],
     ["all_to_all"], ["aggregate"], ["charge"]). *)
@@ -224,8 +263,9 @@ val obs_profile : t -> Cc_obs.Profile.t
 val pp_profile : Format.formatter -> t -> unit
 
 (** [reset t] zeroes all counters — the totals, the fault-overhead counters,
-    every per-label entry, and the per-machine load profile. An installed
-    {!set_sink} callback survives a reset. *)
+    every per-label entry, and the per-machine load profile. Event-bus
+    subscriptions ({!add_sink} and the {!set_sink} slot) are wiring, not
+    state, and survive a reset. *)
 val reset : t -> unit
 
 (** [words_for_bits t bits] is the number of O(log n)-bit words needed to

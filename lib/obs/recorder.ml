@@ -1,0 +1,484 @@
+(* Flight recorder: a canonical, bounded, digest-chained log of every
+   primitive a Net books.
+
+   Each record is serialized to one compact JSON line the moment it is
+   added, and the running digest is an FNV-1a 64-bit fold over those exact
+   line bytes (header line first, then every record line, in order). Two
+   runs therefore agree on the digest iff they agree on every serialized
+   byte of every event — and a reloaded log can re-fold the raw lines it
+   read and verify the trailer without ever re-serializing a float. *)
+
+type record = {
+  seq : int;
+  kind : string;
+  label : string;
+  round_start : float;
+  round_end : float;
+  rounds : float;
+  messages : int;
+  words : int;
+  max_load : int;
+  sent : int array;
+  recv : int array;
+  retransmits : int;
+  dropped : int;
+}
+
+type t = {
+  machines : int;
+  max_records : int;
+  mutable rev_records : record list;
+  mutable stored : int;
+  mutable total : int;
+  mutable digest : int64;
+}
+
+(* --- FNV-1a, 64-bit --- *)
+
+let fnv_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64 h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+(* --- canonical serialization --- *)
+
+let header_line ~machines =
+  Json.to_string
+    (Json.Obj
+       [
+         ("type", Json.String "recorder");
+         ("version", Json.Int 1);
+         ("machines", Json.Int machines);
+       ])
+
+let json_of_record r =
+  let ints a =
+    Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+  in
+  Json.Obj
+    [
+      ("type", Json.String "record");
+      ("seq", Json.Int r.seq);
+      ("kind", Json.String r.kind);
+      ("label", Json.String r.label);
+      ("round_start", Json.float_opt r.round_start);
+      ("round_end", Json.float_opt r.round_end);
+      ("rounds", Json.float_opt r.rounds);
+      ("messages", Json.Int r.messages);
+      ("words", Json.Int r.words);
+      ("max_load", Json.Int r.max_load);
+      ("sent", ints r.sent);
+      ("recv", ints r.recv);
+      ("retransmits", Json.Int r.retransmits);
+      ("dropped", Json.Int r.dropped);
+    ]
+
+let line_of_record r = Json.to_string (json_of_record r)
+
+(* --- construction --- *)
+
+let create ?(max_records = 200_000) ~machines () =
+  if machines < 1 then invalid_arg "Recorder.create: machines must be >= 1";
+  if max_records < 0 then invalid_arg "Recorder.create: negative max_records";
+  let t =
+    {
+      machines;
+      max_records;
+      rev_records = [];
+      stored = 0;
+      total = 0;
+      digest = fnv_basis;
+    }
+  in
+  t.digest <- fnv64 t.digest (header_line ~machines);
+  t
+
+let add t ~kind ~label ~rounds ~round_end ~messages ~words ~max_load ~sent
+    ~recv ~retransmits ~dropped =
+  if
+    Array.length sent <> Array.length recv
+    || (Array.length sent <> 0 && Array.length sent <> t.machines)
+  then
+    invalid_arg
+      "Recorder.add: per-machine arrays must be empty or one slot per machine";
+  let r =
+    {
+      seq = t.total;
+      kind;
+      label;
+      round_start = round_end -. rounds;
+      round_end;
+      rounds;
+      messages;
+      words;
+      max_load;
+      sent = Array.copy sent;
+      recv = Array.copy recv;
+      retransmits;
+      dropped;
+    }
+  in
+  t.digest <- fnv64 t.digest (line_of_record r);
+  t.total <- t.total + 1;
+  if t.stored < t.max_records then begin
+    t.rev_records <- r :: t.rev_records;
+    t.stored <- t.stored + 1
+  end
+
+(* --- inspection --- *)
+
+let machines t = t.machines
+let records t = List.rev t.rev_records
+let total t = t.total
+let stored t = t.stored
+let dropped_records t = t.total - t.stored
+let digest_hex t = Printf.sprintf "fnv64:%016Lx" t.digest
+
+(* --- JSONL export / reload --- *)
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header_line ~machines:t.machines);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (line_of_record r);
+      Buffer.add_char buf '\n')
+    (records t);
+  Buffer.add_string buf
+    (Json.to_string
+       (Json.Obj
+          [
+            ("type", Json.String "digest");
+            ("digest", Json.String (digest_hex t));
+            ("records", Json.Int t.total);
+            ("stored", Json.Int t.stored);
+          ]));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+type loaded = {
+  log : t;
+  trailer_digest : string option;
+  trailer_records : int option;
+}
+
+let member_int key v =
+  match Json.member key v with
+  | Some (Json.Int i) -> Some i
+  | Some (Json.Float f) when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let member_float key v = Option.bind (Json.member key v) Json.to_float_opt
+let member_str key v = Option.bind (Json.member key v) Json.to_string_opt
+
+let member_ints key v =
+  match Json.member key v with
+  | Some (Json.List xs) ->
+      let ok = ref true in
+      let arr =
+        Array.of_list
+          (List.map
+             (function
+               | Json.Int i -> i
+               | Json.Float f when Float.is_integer f -> int_of_float f
+               | _ ->
+                   ok := false;
+                   0)
+             xs)
+      in
+      if !ok then Some arr else None
+  | _ -> None
+
+let of_jsonl s =
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parse_line i l =
+    match Json.of_string l with
+    | Ok v -> Ok v
+    | Error msg -> Error (Printf.sprintf "line %d: %s" (i + 1) msg)
+  in
+  match lines with
+  | [] -> Error "empty recorder log"
+  | header :: rest ->
+      let* hv = parse_line 0 header in
+      if member_str "type" hv <> Some "recorder" then
+        Error "not a recorder log (missing recorder header)"
+      else if member_int "version" hv <> Some 1 then
+        Error "unsupported recorder log version"
+      else
+        let* machines =
+          match member_int "machines" hv with
+          | Some m when m >= 1 -> Ok m
+          | _ -> Error "recorder header: bad machines field"
+        in
+        let t =
+          {
+            machines;
+            max_records = List.length rest;
+            rev_records = [];
+            stored = 0;
+            total = 0;
+            digest = fnv64 fnv_basis header;
+          }
+        in
+        let trailer_digest = ref None and trailer_records = ref None in
+        let parse_record i line v =
+          let req name = function
+            | Some x -> Ok x
+            | None ->
+                Error
+                  (Printf.sprintf "line %d: record missing field %s" (i + 1)
+                     name)
+          in
+          let* seq = req "seq" (member_int "seq" v) in
+          let* kind = req "kind" (member_str "kind" v) in
+          let* label = req "label" (member_str "label" v) in
+          let* round_start = req "round_start" (member_float "round_start" v) in
+          let* round_end = req "round_end" (member_float "round_end" v) in
+          let* rounds = req "rounds" (member_float "rounds" v) in
+          let* messages = req "messages" (member_int "messages" v) in
+          let* words = req "words" (member_int "words" v) in
+          let* max_load = req "max_load" (member_int "max_load" v) in
+          let* sent = req "sent" (member_ints "sent" v) in
+          let* recv = req "recv" (member_ints "recv" v) in
+          let* retransmits = req "retransmits" (member_int "retransmits" v) in
+          let* dropped = req "dropped" (member_int "dropped" v) in
+          t.rev_records <-
+            {
+              seq;
+              kind;
+              label;
+              round_start;
+              round_end;
+              rounds;
+              messages;
+              words;
+              max_load;
+              sent;
+              recv;
+              retransmits;
+              dropped;
+            }
+            :: t.rev_records;
+          t.stored <- t.stored + 1;
+          t.total <- t.total + 1;
+          (* The digest chain folds the raw line bytes exactly as read, so
+             verification is immune to float re-serialization drift. *)
+          t.digest <- fnv64 t.digest line;
+          Ok ()
+        in
+        let rec go i = function
+          | [] -> Ok ()
+          | line :: rest -> (
+              let* v = parse_line i line in
+              match member_str "type" v with
+              | Some "record" ->
+                  let* () = parse_record i line v in
+                  go (i + 1) rest
+              | Some "digest" ->
+                  trailer_digest := member_str "digest" v;
+                  trailer_records := member_int "records" v;
+                  if rest <> [] then
+                    Error
+                      (Printf.sprintf "line %d: lines after digest trailer"
+                         (i + 2))
+                  else Ok ()
+              | _ -> Error (Printf.sprintf "line %d: unknown line type" (i + 1))
+              )
+        in
+        let* () = go 1 rest in
+        Ok
+          {
+            log = t;
+            trailer_digest = !trailer_digest;
+            trailer_records = !trailer_records;
+          }
+
+let verify { log; trailer_digest; trailer_records } =
+  match trailer_digest with
+  | None -> Error "missing digest trailer"
+  | Some d ->
+      if trailer_records <> Some log.total then
+        Error
+          (Printf.sprintf
+             "log is truncated (%d of %s records stored); digest not \
+              verifiable"
+             log.total
+             (match trailer_records with
+             | Some r -> string_of_int r
+             | None -> "?"))
+      else if String.equal (digest_hex log) d then Ok d
+      else
+        Error
+          (Printf.sprintf "digest mismatch: trailer says %s, recomputed %s" d
+             (digest_hex log))
+
+(* --- divergence diffing --- *)
+
+type divergence = { seq : int; field : string; a : string; b : string }
+
+let pp_ints a =
+  "["
+  ^ String.concat " " (Array.to_list (Array.map string_of_int a))
+  ^ "]"
+
+let diff_record ra rb =
+  let fields =
+    [
+      ("kind", ra.kind, rb.kind);
+      ("label", ra.label, rb.label);
+      ( "rounds",
+        Printf.sprintf "%.17g" ra.rounds,
+        Printf.sprintf "%.17g" rb.rounds );
+      ( "round_start",
+        Printf.sprintf "%.17g" ra.round_start,
+        Printf.sprintf "%.17g" rb.round_start );
+      ( "round_end",
+        Printf.sprintf "%.17g" ra.round_end,
+        Printf.sprintf "%.17g" rb.round_end );
+      ("messages", string_of_int ra.messages, string_of_int rb.messages);
+      ("words", string_of_int ra.words, string_of_int rb.words);
+      ("max_load", string_of_int ra.max_load, string_of_int rb.max_load);
+      ("sent", pp_ints ra.sent, pp_ints rb.sent);
+      ("recv", pp_ints ra.recv, pp_ints rb.recv);
+      ( "retransmits",
+        string_of_int ra.retransmits,
+        string_of_int rb.retransmits );
+      ("dropped", string_of_int ra.dropped, string_of_int rb.dropped);
+    ]
+  in
+  List.find_map
+    (fun (field, a, b) ->
+      if String.equal a b then None else Some { seq = ra.seq; field; a; b })
+    fields
+
+let diff ta tb =
+  if ta.machines <> tb.machines then
+    Some
+      {
+        seq = -1;
+        field = "machines";
+        a = string_of_int ta.machines;
+        b = string_of_int tb.machines;
+      }
+  else
+    let rec go ra rb =
+      match (ra, rb) with
+      | [], [] -> None
+      | (r : record) :: _, [] ->
+          Some
+            {
+              seq = r.seq;
+              field = "presence";
+              a = r.kind ^ " " ^ r.label;
+              b = "absent";
+            }
+      | [], (r : record) :: _ ->
+          Some
+            {
+              seq = r.seq;
+              field = "presence";
+              a = "absent";
+              b = r.kind ^ " " ^ r.label;
+            }
+      | r1 :: rest1, r2 :: rest2 -> (
+          match diff_record r1 r2 with
+          | Some d -> Some d
+          | None -> go rest1 rest2)
+    in
+    go (records ta) (records tb)
+
+(* --- ASCII per-round timeline --- *)
+
+let intensity = [| '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let timeline ?(width = 64) t =
+  let width = max 8 width in
+  let rs = records t in
+  let span = List.fold_left (fun acc r -> Float.max acc r.round_end) 0.0 rs in
+  if rs = [] || span <= 0.0 then "recorder timeline: no rounds booked\n"
+  else begin
+    let bucket = span /. float_of_int width in
+    (* Per label (in first-appearance order): rounds of overlap with each
+       of the [width] equal buckets of the run's round interval. *)
+    let order = ref [] in
+    let mass : (string, float array) Hashtbl.t = Hashtbl.create 16 in
+    let lane label =
+      match Hashtbl.find_opt mass label with
+      | Some m -> m
+      | None ->
+          let m = Array.make width 0.0 in
+          Hashtbl.add mass label m;
+          order := label :: !order;
+          m
+    in
+    List.iter
+      (fun r ->
+        if r.rounds > 0.0 then begin
+          let m = lane r.label in
+          let b0 = max 0 (int_of_float (r.round_start /. bucket)) in
+          let b1 =
+            min (width - 1)
+              (int_of_float ((r.round_end -. (bucket *. 1e-9)) /. bucket))
+          in
+          for b = b0 to b1 do
+            let lo = Float.max r.round_start (float_of_int b *. bucket)
+            and hi = Float.min r.round_end (float_of_int (b + 1) *. bucket) in
+            if hi > lo then m.(b) <- m.(b) +. (hi -. lo)
+          done
+        end)
+      rs;
+    let labels = List.rev !order in
+    let name_w =
+      List.fold_left (fun acc l -> max acc (String.length l)) 5 labels
+      |> min 28
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "per-round timeline: %.1f rounds, %d records, %d buckets of %.2f \
+          rounds\n"
+         span t.total width bucket);
+    List.iter
+      (fun label ->
+        let m = Hashtbl.find mass label in
+        let short =
+          if String.length label <= name_w then label
+          else String.sub label 0 (name_w - 1) ^ "~"
+        in
+        Buffer.add_string buf (Printf.sprintf "%-*s |" name_w short);
+        Array.iter
+          (fun v ->
+            if v <= 0.0 then Buffer.add_char buf ' '
+            else begin
+              let frac = Float.min 1.0 (v /. bucket) in
+              let i =
+                min
+                  (Array.length intensity - 1)
+                  (int_of_float (frac *. float_of_int (Array.length intensity)))
+              in
+              Buffer.add_char buf intensity.(i)
+            end)
+          m;
+        Buffer.add_string buf "|\n")
+      labels;
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s |%s|\n" name_w "round"
+         (let axis = Bytes.make width '-' in
+          Bytes.set axis 0 '0';
+          let last = Printf.sprintf "%.0f" span in
+          if String.length last < width - 2 then
+            Bytes.blit_string last 0 axis (width - String.length last)
+              (String.length last);
+          Bytes.to_string axis));
+    Buffer.contents buf
+  end

@@ -1,0 +1,127 @@
+(** Flight recorder for the Net event stream.
+
+    A recorder captures one canonical {!record} per booked Net primitive —
+    kind, label, round interval, per-machine sent/received words, and the
+    fault-layer outcome counters at booking time — into a bounded in-memory
+    log with a running {e chain digest}: an FNV-1a 64-bit fold over the
+    compact JSON serialization of the header and of every record, in order.
+    Two runs produce the same digest iff they booked byte-identical event
+    streams, which makes the digest a cheap determinism check (same seed →
+    same digest) and the log a replay artifact that {!diff} can compare to
+    the first divergent event.
+
+    The recorder is glued to a net with [Cc_clique.Net.attach_recorder]
+    (this module cannot depend on [Cc_clique], which sits above it). Like
+    every observability layer here it is pure observation: it copies what
+    the sink hands it and never touches the ledger or draws randomness. *)
+
+type record = {
+  seq : int;  (** 0-based position in the event stream. *)
+  kind : string;  (** primitive wire name: ["exchange"], ["broadcast"], … *)
+  label : string;  (** ledger label the cost was booked under. *)
+  round_start : float;  (** round clock when the primitive began. *)
+  round_end : float;  (** round clock after booking ([round_start + rounds]). *)
+  rounds : float;
+  messages : int;
+  words : int;
+  max_load : int;
+  sent : int array;
+      (** words each machine sent in this primitive — one slot per machine,
+          or [[||]] for analytic charges that route no traffic. *)
+  recv : int array;  (** words each machine received; same shape as [sent]. *)
+  retransmits : int;  (** net-wide retransmitted packets so far (running). *)
+  dropped : int;  (** net-wide dropped transmission attempts so far. *)
+}
+
+type t
+
+(** [create ~machines ()] builds an empty recorder for a [machines]-machine
+    clique. At most [max_records] records (default [200_000]) are kept in
+    memory; excess records still extend the digest chain but are dropped
+    from the log and counted in {!dropped_records}. *)
+val create : ?max_records:int -> machines:int -> unit -> t
+
+(** [add t ~kind ~label ~rounds ~round_end …] appends one record
+    ([round_start] is derived as [round_end - rounds]; [seq] is assigned).
+    The per-machine arrays are copied.
+    @raise Invalid_argument if [sent]/[recv] are not both empty or both of
+    length [machines]. *)
+val add :
+  t ->
+  kind:string ->
+  label:string ->
+  rounds:float ->
+  round_end:float ->
+  messages:int ->
+  words:int ->
+  max_load:int ->
+  sent:int array ->
+  recv:int array ->
+  retransmits:int ->
+  dropped:int ->
+  unit
+
+val machines : t -> int
+
+(** [records t] is the stored log, in event order. *)
+val records : t -> record list
+
+(** [total t] counts every record ever added (stored or not). *)
+val total : t -> int
+
+val stored : t -> int
+
+(** [dropped_records t] is [total - stored]: records beyond [max_records]
+    that extended the digest but were not kept. *)
+val dropped_records : t -> int
+
+(** [digest_hex t] is the running chain digest as ["fnv64:<16 hex digits>"].
+    Byte-identical event streams — and only those — agree on it. *)
+val digest_hex : t -> string
+
+(** {1 JSONL export / reload}
+
+    The export is one JSON object per line: a header
+    [{"type":"recorder","version":1,"machines":n}], one
+    [{"type":"record",…}] line per stored record, and a trailer
+    [{"type":"digest","digest":…,"records":total,"stored":stored}]. The
+    digest chain folds the header line and every record line exactly as
+    written, so a reloaded log re-folds the raw lines it read and can
+    verify the trailer without re-serializing. *)
+
+val to_jsonl : t -> string
+
+type loaded = {
+  log : t;
+  trailer_digest : string option;  (** digest claimed by the trailer. *)
+  trailer_records : int option;  (** total records claimed by the trailer. *)
+}
+
+(** [of_jsonl s] parses an export. [Error] on structural problems (bad
+    header, missing record fields, lines after the trailer). *)
+val of_jsonl : string -> (loaded, string) result
+
+(** [verify l] checks the reloaded digest chain against the trailer:
+    [Ok digest] when they agree, [Error] when the trailer is missing, the
+    log was truncated by the record cap (digest not verifiable), or the
+    recomputed digest disagrees (the file was altered). *)
+val verify : loaded -> (string, string) result
+
+(** {1 Divergence diffing} *)
+
+type divergence = {
+  seq : int;  (** event position, or [-1] for a header mismatch. *)
+  field : string;  (** first differing field (["presence"] for a missing event). *)
+  a : string;  (** rendering of the field in the first log. *)
+  b : string;
+}
+
+(** [diff a b] is the first divergent event between two logs, comparing
+    records field by field in stream order ([None] when identical). *)
+val diff : t -> t -> divergence option
+
+(** [timeline ?width t] renders an ASCII per-round timeline: one lane per
+    label (first-appearance order), the run's round interval bucketed into
+    [width] (default 64) columns, cell intensity = the fraction of that
+    bucket's rounds booked under the lane's label. *)
+val timeline : ?width:int -> t -> string

@@ -8,12 +8,15 @@ type summary = {
 }
 
 let mean xs =
-  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty input";
   Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
 
 let variance xs =
   let n = Array.length xs in
-  if n < 2 then 0.0
+  if n = 0 then invalid_arg "Stats.variance: empty input";
+  (* A single observation has no spread; the n-1 denominator would give
+     0/0, so the singleton case is defined as 0 rather than NaN. *)
+  if n = 1 then 0.0
   else
     let m = mean xs in
     let acc = ref 0.0 in
@@ -24,10 +27,12 @@ let variance xs =
       xs;
     !acc /. float_of_int (n - 1)
 
-let stddev xs = sqrt (variance xs)
+let stddev xs =
+  if Array.length xs = 0 then invalid_arg "Stats.stddev: empty input";
+  sqrt (variance xs)
 
 let quantile q xs =
-  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty";
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty input";
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of range";
   let sorted = Array.copy xs in
   Array.sort compare sorted;
@@ -39,6 +44,7 @@ let quantile q xs =
   (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
 let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty input";
   {
     count = Array.length xs;
     mean = mean xs;

@@ -13,14 +13,34 @@ type summary = {
   median : float;
 }
 
+(** {1 Edge cases}
+
+    Every summary function below rejects an empty input by raising
+    [Invalid_argument "Stats.<fn>: empty input"] — never by silently
+    returning NaN or an infinity. A singleton input is well-defined:
+    [mean [|x|] = x], [variance]/[stddev] are [0.] (a single observation
+    has no spread; the [n-1] denominator would otherwise give 0/0), every
+    [quantile] is [x], and [summarize] reports [min = max = median = x]
+    with [stddev = 0.]. *)
+
+(** [summarize xs] is the count/mean/stddev/min/max/median of [xs].
+    @raise Invalid_argument on an empty input. *)
 val summarize : float array -> summary
 
+(** @raise Invalid_argument on an empty input. *)
 val mean : float array -> float
+
+(** Sample variance ([n-1] denominator); [0.] for a singleton.
+    @raise Invalid_argument on an empty input. *)
 val variance : float array -> float
+
+(** [sqrt (variance xs)]; [0.] for a singleton.
+    @raise Invalid_argument on an empty input. *)
 val stddev : float array -> float
 
 (** [quantile q xs] with [0 <= q <= 1]; linear interpolation between order
-    statistics. *)
+    statistics. A singleton's every quantile is its sole element.
+    @raise Invalid_argument on an empty input or [q] outside [0, 1]. *)
 val quantile : float -> float array -> float
 
 (** [linear_fit xs ys] returns [(slope, intercept)] of the least-squares line.

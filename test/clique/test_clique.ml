@@ -2,6 +2,7 @@
    aggregation, and the two matrix-multiplication backends. *)
 
 module Net = Cc_clique.Net
+module Fault = Cc_clique.Fault
 module Matmul = Cc_clique.Matmul
 module Mat = Cc_linalg.Mat
 module Prng = Cc_util.Prng
@@ -418,6 +419,131 @@ let qcheck_tests =
           (Matmul.mul net Matmul.Routed_broadcast a b));
   ]
 
+(* --- event bus (add_sink / remove_sink / set_sink compat) --- *)
+
+let test_add_sink_ordering () =
+  let net = Net.create ~n:4 in
+  let order = ref [] in
+  let a = Net.add_sink net (fun _ -> order := "a" :: !order) in
+  let _b = Net.add_sink net (fun _ -> order := "b" :: !order) in
+  Net.exchange net ~label:"t" [ { Net.src = 0; dst = 1; words = 1 } ];
+  Alcotest.(check (list string))
+    "subscription order preserved" [ "a"; "b" ] (List.rev !order);
+  Net.remove_sink net a;
+  Net.remove_sink net a;
+  (* idempotent *)
+  order := [];
+  Net.exchange net ~label:"t" [ { Net.src = 0; dst = 1; words = 1 } ];
+  Alcotest.(check (list string)) "removed sink is silent" [ "b" ] !order
+
+let test_set_sink_coexists_with_add_sink () =
+  (* The legacy set_sink slot is one subscription among many: installing or
+     clearing it must not disturb add_sink subscribers. *)
+  let net = Net.create ~n:4 in
+  let order = ref [] in
+  ignore (Net.add_sink net (fun _ -> order := "bus" :: !order));
+  Net.set_sink net (Some (fun _ -> order := "compat" :: !order));
+  Net.exchange net ~label:"t" [ { Net.src = 0; dst = 1; words = 1 } ];
+  Alcotest.(check (list string))
+    "both fire, earlier subscription first" [ "bus"; "compat" ]
+    (List.rev !order);
+  (* Replacing the compat sink re-subscribes it (moves to the back), and
+     clearing it leaves the bus subscriber alone. *)
+  Net.set_sink net (Some (fun _ -> order := "compat2" :: !order));
+  Net.set_sink net None;
+  order := [];
+  Net.exchange net ~label:"t" [ { Net.src = 0; dst = 1; words = 1 } ];
+  Alcotest.(check (list string)) "compat slot cleared" [ "bus" ] !order
+
+let test_reset_keeps_all_sinks () =
+  let net = Net.create ~n:4 in
+  let hits = ref 0 in
+  ignore (Net.add_sink net (fun _ -> incr hits));
+  ignore (Net.add_sink net (fun _ -> incr hits));
+  Net.set_sink net (Some (fun _ -> incr hits));
+  Net.reset net;
+  Net.exchange net ~label:"t" [ { Net.src = 0; dst = 1; words = 1 } ];
+  Alcotest.(check int) "all three subscriptions survive reset" 3 !hits
+
+let test_event_per_machine_words () =
+  let n = 4 in
+  let net = Net.create ~n in
+  let events = ref [] in
+  ignore
+    (Net.add_sink net (fun (e : Net.event) ->
+         (* sent/recv are shared with the booking layer: copy. *)
+         events :=
+           (e.Net.kind, Array.copy e.Net.sent, Array.copy e.Net.recv)
+           :: !events));
+  Net.exchange net ~label:"x"
+    [ { Net.src = 0; dst = 1; words = 3 }; { Net.src = 2; dst = 1; words = 5 } ];
+  Net.broadcast net ~label:"b" ~src:2 ~words:4;
+  Net.charge net ~label:"free" 1.0;
+  match List.rev !events with
+  | [ (k1, s1, r1); (k2, s2, r2); (k3, s3, r3) ] ->
+      Alcotest.(check bool) "exchange kind" true (k1 = Net.Exchange);
+      Alcotest.(check (array int)) "exchange sent" [| 3; 0; 5; 0 |] s1;
+      Alcotest.(check (array int)) "exchange recv" [| 0; 8; 0; 0 |] r1;
+      Alcotest.(check bool) "broadcast kind" true (k2 = Net.Broadcast);
+      Alcotest.(check (array int)) "broadcast sent" [| 0; 0; 4; 0 |] s2;
+      Alcotest.(check (array int)) "broadcast recv" [| 4; 4; 0; 4 |] r2;
+      Alcotest.(check bool) "charge kind" true (k3 = Net.Charge);
+      Alcotest.(check (array int)) "charge books no traffic" [||] s3;
+      Alcotest.(check (array int)) "charge receives none" [||] r3
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
+
+let test_invariant_clean_on_primitives () =
+  let n = 6 in
+  let net = Net.create ~n in
+  let inv = Cc_obs.Invariant.create ~machines:n () in
+  ignore (Net.attach_invariant net inv);
+  Net.exchange net ~label:"x"
+    (List.init (n - 1) (fun i -> { Net.src = i; dst = i + 1; words = 2 }));
+  Net.broadcast net ~label:"b" ~src:0 ~words:10;
+  Net.all_to_all net ~label:"a" ~words_each:3;
+  Net.aggregate net ~label:"g" ~contributors:[ 1; 2; 3 ] ~dst:0 4;
+  Net.charge net ~label:"c" 2.5;
+  Alcotest.(check int) "no online violations" 0 (Cc_obs.Invariant.count inv);
+  Alcotest.(check int) "ledger reconciles" 0
+    (List.length (Net.ledger_violations net inv))
+
+let test_invariant_clean_under_faults () =
+  (* Reliable delivery heals drops with booked retransmissions; the
+     invariant monitor must see every retry as an ordinary conserved
+     exchange and the ledger must still reconcile. *)
+  let n = 8 in
+  let net =
+    Net.with_faults
+      (Fault.create (Fault.spec ~drop_prob:0.2 ~seed:13 ()))
+      (Net.create ~n)
+  in
+  let inv = Cc_obs.Invariant.create ~machines:n () in
+  ignore (Net.attach_invariant net inv);
+  for i = 0 to 19 do
+    ignore
+      (Net.reliable_exchange net ~label:"flaky"
+         [ { Net.src = i mod n; dst = (i + 1) mod n; words = 4 } ])
+  done;
+  Alcotest.(check bool) "faults actually fired" true (Net.dropped net > 0);
+  Alcotest.(check int) "no online violations under faults" 0
+    (Cc_obs.Invariant.count inv);
+  Alcotest.(check int) "ledger reconciles under faults" 0
+    (List.length (Net.ledger_violations net inv))
+
+let test_invariant_ledger_mismatch_detected () =
+  (* An invariant attached after traffic has already been booked missed
+     those events, so the end-of-run reconciliation must flag the gap. *)
+  let n = 4 in
+  let net = Net.create ~n in
+  Net.exchange net ~label:"early" [ { Net.src = 0; dst = 1; words = 7 } ];
+  let inv = Cc_obs.Invariant.create ~machines:n () in
+  ignore (Net.attach_invariant net inv);
+  Net.exchange net ~label:"late" [ { Net.src = 2; dst = 3; words = 1 } ];
+  let vs = Net.ledger_violations net inv in
+  Alcotest.(check bool) "missed traffic detected" true (vs <> []);
+  Alcotest.(check bool) "named a ledger violation" true
+    (List.exists (fun v -> v.Cc_obs.Invariant.invariant = "ledger") vs)
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
   Alcotest.run "cc_clique"
@@ -458,6 +584,23 @@ let () =
           Alcotest.test_case "reset keeps sink" `Quick test_reset_keeps_sink;
           Alcotest.test_case "profile does not perturb" `Quick
             test_profile_does_not_perturb;
+        ] );
+      ( "event bus",
+        [
+          Alcotest.test_case "add_sink ordering + remove" `Quick
+            test_add_sink_ordering;
+          Alcotest.test_case "set_sink compat slot" `Quick
+            test_set_sink_coexists_with_add_sink;
+          Alcotest.test_case "all sinks survive reset" `Quick
+            test_reset_keeps_all_sinks;
+          Alcotest.test_case "per-machine words on events" `Quick
+            test_event_per_machine_words;
+          Alcotest.test_case "invariants clean on primitives" `Quick
+            test_invariant_clean_on_primitives;
+          Alcotest.test_case "invariants clean under faults" `Quick
+            test_invariant_clean_under_faults;
+          Alcotest.test_case "ledger mismatch detected" `Quick
+            test_invariant_ledger_mismatch_detected;
         ] );
       ( "matmul",
         [

@@ -10,7 +10,11 @@ module Benchdata = Cc_obs.Benchdata
 module Net = Cc_clique.Net
 module Prng = Cc_util.Prng
 module Gen = Cc_graph.Gen
+module Graph = Cc_graph.Graph
 module Sampler = Cc_sampler.Sampler
+module Doubling = Cc_doubling.Doubling
+module Recorder = Cc_obs.Recorder
+module Invariant = Cc_obs.Invariant
 
 let contains_substring ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
@@ -609,6 +613,274 @@ let test_metrics_json () =
     (contains_substring ~needle:"\"err\"" s && contains_substring ~needle:"\"count\"" s);
   Metrics.reset ()
 
+(* --- Json emitter escaping (round-trips through the parser) ------------ *)
+
+let emit_parse s =
+  let out = Json.to_string (Json.String s) in
+  match Json.of_string out with
+  | Ok (Json.String s') -> (out, s')
+  | Ok _ -> Alcotest.failf "emitted %S reparsed as a non-string" out
+  | Error e -> Alcotest.failf "emitted %S does not reparse: %s" out e
+
+let test_json_emit_control_chars () =
+  let s = "a\x01b\x1fc" in
+  let out, back = emit_parse s in
+  Alcotest.(check bool) "C0 controls become \\u00xx" true
+    (contains_substring ~needle:{|\u0001|} out
+    && contains_substring ~needle:{|\u001f|} out);
+  Alcotest.(check string) "round-trip" s back
+
+let test_json_emit_quote_backslash () =
+  let s = {|say "hi" \ done|} in
+  let out, back = emit_parse s in
+  Alcotest.(check bool) "quote and backslash escaped" true
+    (contains_substring ~needle:{|\"hi\"|} out
+    && contains_substring ~needle:{|\\|} out);
+  Alcotest.(check string) "round-trip" s back
+
+let test_json_emit_non_bmp () =
+  (* The emitter passes non-ASCII bytes through raw; a non-BMP code point
+     (U+1F600, 4 UTF-8 bytes) must survive emit -> parse unchanged, and
+     agree with the parser's own \u surrogate-pair decoding. *)
+  let s = "\xf0\x9f\x98\x80" in
+  let out, back = emit_parse s in
+  Alcotest.(check string) "raw UTF-8 preserved" ("\"" ^ s ^ "\"") out;
+  Alcotest.(check string) "round-trip" s back;
+  match Json.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (Json.String s') ->
+      Alcotest.(check string) "agrees with surrogate-pair decoding" s s'
+  | _ -> Alcotest.fail "surrogate pair did not parse"
+
+(* --- Recorder ----------------------------------------------------------- *)
+
+(* A two-machine exchange record with overridable fields. *)
+let radd r ?(kind = "exchange") ?(label = "x") ?(rounds = 1.0) ~round_end
+    ?(messages = 1) ?(words = 2) ?(max_load = 2) ?(sent = [| 2; 0 |])
+    ?(recv = [| 0; 2 |]) () =
+  Recorder.add r ~kind ~label ~rounds ~round_end ~messages ~words ~max_load
+    ~sent ~recv ~retransmits:0 ~dropped:0
+
+let test_recorder_digest_determinism () =
+  let mk labels =
+    let r = Recorder.create ~machines:2 () in
+    List.iteri
+      (fun i label -> radd r ~label ~round_end:(float_of_int (i + 1)) ())
+      labels;
+    r
+  in
+  let a = mk [ "p"; "q" ] and b = mk [ "p"; "q" ] and c = mk [ "q"; "p" ] in
+  Alcotest.(check string) "identical streams agree"
+    (Recorder.digest_hex a) (Recorder.digest_hex b);
+  Alcotest.(check bool) "reordered stream disagrees" false
+    (String.equal (Recorder.digest_hex a) (Recorder.digest_hex c));
+  Alcotest.(check bool) "digest is fnv64-tagged hex" true
+    (String.length (Recorder.digest_hex a) = 22
+    && String.sub (Recorder.digest_hex a) 0 6 = "fnv64:")
+
+let test_recorder_jsonl_roundtrip () =
+  let r = Recorder.create ~machines:2 () in
+  radd r ~label:"walk" ~round_end:1.5 ~rounds:1.5 ();
+  radd r ~kind:"charge" ~label:"free" ~rounds:0.25 ~round_end:1.75 ~messages:0
+    ~words:0 ~max_load:0 ~sent:[||] ~recv:[||] ();
+  radd r ~kind:"broadcast" ~label:"bc" ~round_end:2.75 ~words:2 ~max_load:2
+    ~sent:[| 2; 0 |] ~recv:[| 0; 2 |] ();
+  match Recorder.of_jsonl (Recorder.to_jsonl r) with
+  | Error e -> Alcotest.failf "reload failed: %s" e
+  | Ok l ->
+      (match Recorder.verify l with
+      | Ok d ->
+          Alcotest.(check string) "verified digest matches the live one"
+            (Recorder.digest_hex r) d
+      | Error e -> Alcotest.failf "verify failed: %s" e);
+      Alcotest.(check (option reject)) "no divergence vs the original" None
+        (Recorder.diff r l.Recorder.log);
+      Alcotest.(check int) "all records reloaded" 3
+        (List.length (Recorder.records l.Recorder.log))
+
+let test_recorder_truncation () =
+  let r = Recorder.create ~max_records:2 ~machines:2 () in
+  for i = 1 to 4 do
+    radd r ~round_end:(float_of_int i) ()
+  done;
+  Alcotest.(check int) "total counts every add" 4 (Recorder.total r);
+  Alcotest.(check int) "stored is capped" 2 (Recorder.stored r);
+  Alcotest.(check int) "overflow counted" 2 (Recorder.dropped_records r);
+  match Recorder.of_jsonl (Recorder.to_jsonl r) with
+  | Error e -> Alcotest.failf "reload failed: %s" e
+  | Ok l -> (
+      match Recorder.verify l with
+      | Ok _ -> Alcotest.fail "truncated log must not verify"
+      | Error msg ->
+          Alcotest.(check bool) "error names truncation" true
+            (contains_substring ~needle:"truncat" msg))
+
+let test_recorder_diff_first_divergence () =
+  let mk words =
+    let r = Recorder.create ~machines:2 () in
+    radd r ~round_end:1.0 ();
+    radd r ~round_end:2.0 ~words
+      ~sent:[| words; 0 |]
+      ~recv:[| 0; words |]
+      ~max_load:words ();
+    r
+  in
+  let a = mk 2 and b = mk 3 in
+  match Recorder.diff a b with
+  | Some d ->
+      Alcotest.(check int) "first divergent event" 1 d.Recorder.seq;
+      Alcotest.(check string) "first divergent field" "words" d.Recorder.field;
+      Alcotest.(check string) "left rendering" "2" d.Recorder.a;
+      Alcotest.(check string) "right rendering" "3" d.Recorder.b
+  | None -> Alcotest.fail "expected a divergence"
+
+let test_recorder_timeline () =
+  let r = Recorder.create ~machines:2 () in
+  radd r ~label:"alpha" ~round_end:1.0 ();
+  radd r ~label:"beta" ~round_end:2.0 ();
+  radd r ~label:"alpha" ~round_end:3.0 ();
+  let s = Recorder.timeline ~width:8 r in
+  Alcotest.(check bool) "lanes named after labels" true
+    (contains_substring ~needle:"alpha" s
+    && contains_substring ~needle:"beta" s);
+  Alcotest.(check bool) "axis present" true (contains_substring ~needle:"0" s)
+
+let test_recorder_shape_validation () =
+  let r = Recorder.create ~machines:2 () in
+  Alcotest.check_raises "wrong-length arrays rejected"
+    (Invalid_argument
+       "Recorder.add: per-machine arrays must be empty or one slot per machine")
+    (fun () -> radd r ~round_end:1.0 ~sent:[| 1; 2; 3 |] ())
+
+(* --- Invariant ---------------------------------------------------------- *)
+
+(* Literal four-machine records for the synthetic checks. *)
+let mk_record ~seq ~kind ~label ~round_start ~rounds ~messages ~words ~max_load
+    ~sent ~recv =
+  {
+    Recorder.seq;
+    kind;
+    label;
+    round_start;
+    round_end = round_start +. rounds;
+    rounds;
+    messages;
+    words;
+    max_load;
+    sent;
+    recv;
+    retransmits = 0;
+    dropped = 0;
+  }
+
+let clean_exchange ~seq ~round_start =
+  mk_record ~seq ~kind:"exchange" ~label:"x" ~round_start ~rounds:1.0
+    ~messages:2 ~words:4 ~max_load:2
+    ~sent:[| 2; 0; 2; 0 |]
+    ~recv:[| 0; 2; 0; 2 |]
+
+let test_invariant_clean_synthetic () =
+  let inv = Invariant.create ~machines:4 () in
+  Alcotest.(check int) "clean exchange" 0
+    (List.length (Invariant.observe inv (clean_exchange ~seq:0 ~round_start:0.0)));
+  let bc =
+    mk_record ~seq:1 ~kind:"broadcast" ~label:"b" ~round_start:1.0 ~rounds:1.0
+      ~messages:3 ~words:6 ~max_load:2
+      ~sent:[| 0; 2; 0; 0 |]
+      ~recv:[| 2; 0; 2; 2 |]
+  in
+  Alcotest.(check int) "clean broadcast" 0
+    (List.length (Invariant.observe inv bc));
+  let ch =
+    mk_record ~seq:2 ~kind:"charge" ~label:"c" ~round_start:2.0 ~rounds:0.5
+      ~messages:0 ~words:0 ~max_load:0 ~sent:[||] ~recv:[||]
+  in
+  Alcotest.(check int) "clean charge" 0 (List.length (Invariant.observe inv ch));
+  Alcotest.(check int) "monitor stayed clean" 0 (Invariant.count inv)
+
+let test_invariant_lenzen_cap () =
+  (* One round on four machines budgets 4 words per machine; machine 0
+     sending 8 must be flagged with the offending machine/round/label. *)
+  let inv = Invariant.create ~machines:4 () in
+  let r =
+    mk_record ~seq:0 ~kind:"exchange" ~label:"hot" ~round_start:0.0 ~rounds:1.0
+      ~messages:1 ~words:8 ~max_load:8
+      ~sent:[| 8; 0; 0; 0 |]
+      ~recv:[| 0; 8; 0; 0 |]
+  in
+  let vs = Invariant.observe inv r in
+  let caps =
+    List.filter (fun v -> v.Invariant.invariant = "lenzen_cap") vs
+  in
+  Alcotest.(check int) "both endpoints over budget" 2 (List.length caps);
+  match caps with
+  | v :: _ ->
+      Alcotest.(check (option int)) "offending machine" (Some 0)
+        v.Invariant.machine;
+      Alcotest.(check string) "offending label" "hot" v.Invariant.label;
+      Alcotest.(check (option (float 1e-9))) "offending round" (Some 1.0)
+        v.Invariant.round
+  | [] -> Alcotest.fail "no lenzen_cap violation"
+
+let test_invariant_conservation () =
+  let inv = Invariant.create ~machines:4 () in
+  let r =
+    (* 5 words routed but only 4 booked; loads stay inside the 2-round
+       budget so only conservation fires. *)
+    mk_record ~seq:0 ~kind:"exchange" ~label:"leak" ~round_start:0.0
+      ~rounds:2.0 ~messages:1 ~words:4 ~max_load:5
+      ~sent:[| 5; 0; 0; 0 |]
+      ~recv:[| 0; 5; 0; 0 |]
+  in
+  let vs = Invariant.observe inv r in
+  Alcotest.(check bool) "conservation violation reported" true
+    (List.exists (fun v -> v.Invariant.invariant = "conservation") vs)
+
+let test_invariant_monotonic () =
+  let inv = Invariant.create ~machines:4 () in
+  ignore (Invariant.observe inv (clean_exchange ~seq:0 ~round_start:0.0));
+  (* The next record claims to start at round 3 though the clock is at 1. *)
+  let vs = Invariant.observe inv (clean_exchange ~seq:1 ~round_start:3.0) in
+  Alcotest.(check bool) "clock jump reported" true
+    (List.exists (fun v -> v.Invariant.invariant = "monotonic") vs)
+
+let test_invariant_metrics_mirroring () =
+  Metrics.reset ();
+  let inv = Invariant.create ~machines:4 () in
+  ignore (Invariant.observe inv (clean_exchange ~seq:0 ~round_start:3.0));
+  (match Metrics.get "invariant.violations" with
+  | Some (Metrics.Counter c) ->
+      Alcotest.(check int) "total counter incremented" 1 c
+  | _ -> Alcotest.fail "invariant.violations counter missing");
+  match Metrics.get "invariant.monotonic" with
+  | Some (Metrics.Counter c) ->
+      Alcotest.(check int) "per-invariant counter incremented" 1 c
+  | _ -> Alcotest.fail "invariant.monotonic counter missing"
+
+let test_invariant_algorithms_clean () =
+  (* End to end: the sampler (which exercises the matching/placement
+     pipeline internally) and the doubling sampler must both produce event
+     streams that satisfy every online invariant and reconcile with the
+     ledger. *)
+  let check_algo name run =
+    let prng = Prng.create ~seed:9 in
+    let g = run prng in
+    let n = Graph.n g in
+    let net = Net.create ~n in
+    let inv = Invariant.create ~machines:n () in
+    ignore (Net.attach_invariant net inv);
+    (match name with
+    | "sampler" -> ignore (Sampler.sample net prng g)
+    | _ -> ignore (Doubling.sample_tree net prng g ~tau0:n));
+    Alcotest.(check int) (name ^ ": online invariants clean") 0
+      (Invariant.count inv);
+    Alcotest.(check int)
+      (name ^ ": ledger reconciles")
+      0
+      (List.length (Net.ledger_violations net inv))
+  in
+  check_algo "sampler" (fun prng -> Gen.build prng Gen.Lollipop ~n:12);
+  check_algo "doubling" (fun _ -> Gen.cycle 12)
+
 let () =
   Alcotest.run "cc_obs"
     [
@@ -656,6 +928,41 @@ let () =
             test_json_parse_escapes;
           Alcotest.test_case "malformed input rejected" `Quick
             test_json_parse_errors;
+          Alcotest.test_case "emit control chars" `Quick
+            test_json_emit_control_chars;
+          Alcotest.test_case "emit quote and backslash" `Quick
+            test_json_emit_quote_backslash;
+          Alcotest.test_case "emit non-BMP code points" `Quick
+            test_json_emit_non_bmp;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "digest determinism and order" `Quick
+            test_recorder_digest_determinism;
+          Alcotest.test_case "jsonl round-trip verifies" `Quick
+            test_recorder_jsonl_roundtrip;
+          Alcotest.test_case "bounded log truncation" `Quick
+            test_recorder_truncation;
+          Alcotest.test_case "diff names first divergence" `Quick
+            test_recorder_diff_first_divergence;
+          Alcotest.test_case "timeline lanes" `Quick test_recorder_timeline;
+          Alcotest.test_case "shape validation raises" `Quick
+            test_recorder_shape_validation;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "clean synthetic records" `Quick
+            test_invariant_clean_synthetic;
+          Alcotest.test_case "lenzen cap violation" `Quick
+            test_invariant_lenzen_cap;
+          Alcotest.test_case "conservation violation" `Quick
+            test_invariant_conservation;
+          Alcotest.test_case "monotonicity violation" `Quick
+            test_invariant_monotonic;
+          Alcotest.test_case "metrics mirroring" `Quick
+            test_invariant_metrics_mirroring;
+          Alcotest.test_case "sampler and doubling run clean" `Quick
+            test_invariant_algorithms_clean;
         ] );
       ( "profile",
         [

@@ -280,6 +280,39 @@ let test_stats_errors () =
     (Invalid_argument "Stats.quantile: q out of range") (fun () ->
       ignore (Stats.quantile 1.5 [| 1.0 |]))
 
+let test_stats_empty_inputs () =
+  (* Every summary function rejects [||] by raising, never by returning
+     NaN (see stats.mli, "Edge cases"). *)
+  Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Stats.mean [||]));
+  Alcotest.check_raises "variance"
+    (Invalid_argument "Stats.variance: empty input") (fun () ->
+      ignore (Stats.variance [||]));
+  Alcotest.check_raises "stddev" (Invalid_argument "Stats.stddev: empty input")
+    (fun () -> ignore (Stats.stddev [||]));
+  Alcotest.check_raises "quantile"
+    (Invalid_argument "Stats.quantile: empty input") (fun () ->
+      ignore (Stats.quantile 0.5 [||]));
+  Alcotest.check_raises "summarize"
+    (Invalid_argument "Stats.summarize: empty input") (fun () ->
+      ignore (Stats.summarize [||]))
+
+let test_stats_singleton () =
+  let x = 7.25 in
+  check_float "mean" x (Stats.mean [| x |]);
+  check_float "variance" 0.0 (Stats.variance [| x |]);
+  check_float "stddev" 0.0 (Stats.stddev [| x |]);
+  check_float "q0" x (Stats.quantile 0.0 [| x |]);
+  check_float "q50" x (Stats.quantile 0.5 [| x |]);
+  check_float "q100" x (Stats.quantile 1.0 [| x |]);
+  let s = Stats.summarize [| x |] in
+  Alcotest.(check int) "count" 1 s.Stats.count;
+  check_float "summary mean" x s.Stats.mean;
+  check_float "summary stddev" 0.0 s.Stats.stddev;
+  check_float "summary min" x s.Stats.min;
+  check_float "summary max" x s.Stats.max;
+  check_float "summary median" x s.Stats.median
+
 (* --- Table --- *)
 
 let test_table_render () =
@@ -434,6 +467,9 @@ let () =
           Alcotest.test_case "r squared" `Quick test_r_squared_perfect;
           Alcotest.test_case "spread" `Quick test_stats_spread;
           Alcotest.test_case "error cases" `Quick test_stats_errors;
+          Alcotest.test_case "empty inputs raise" `Quick
+            test_stats_empty_inputs;
+          Alcotest.test_case "singleton semantics" `Quick test_stats_singleton;
         ] );
       ( "table",
         [
