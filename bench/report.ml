@@ -5,7 +5,12 @@
    row's parameters, the measured value, the paper bound it is compared
    against (when one exists), and their ratio — and the driver stamps each
    experiment with its wall-clock time. Without [--json] every call is a
-   no-op, so the printed tables are byte-identical either way. *)
+   no-op, so the printed tables are byte-identical either way.
+
+   Schema cc-bench/3 adds a top-level [engine] object: the domain count the
+   run executed with plus the strong-scaling speedup measured by P1 (null
+   when P1 did not run). Wall-clock rows carry no [bound], so they never
+   produce ratios and the ccprof diff gate stays hardware-independent. *)
 
 module Json = Cc_obs.Json
 
@@ -18,6 +23,11 @@ let experiments : (string * string * float) list ref = ref []
 let titles : (string, string) Hashtbl.t = Hashtbl.create 16
 let records : Json.t list ref = ref []
 
+(* Measured strong-scaling speedup at the largest domain count (set by the
+   P1 experiment); written into the cc-bench/3 [engine] object. *)
+let speedup : float option ref = ref None
+let set_speedup s = speedup := Some s
+
 (* id -> (max per-primitive machine load, worst imbalance) over every net the
    experiment showed us via [observe_net]. *)
 let loads : (string, int * float) Hashtbl.t = Hashtbl.create 16
@@ -27,6 +37,7 @@ let loads : (string, int * float) Hashtbl.t = Hashtbl.create 16
 let reset () =
   experiments := [];
   records := [];
+  speedup := None;
   Hashtbl.reset titles;
   Hashtbl.reset loads
 
@@ -87,8 +98,18 @@ let write ~fast =
       let doc =
         Json.Obj
           [
-            ("schema", Json.String "cc-bench/2");
+            ("schema", Json.String "cc-bench/3");
             ("fast", Json.Bool fast);
+            ( "engine",
+              Json.Obj
+                [
+                  ( "domains",
+                    Json.Int (Cc_engine.domains (Cc_engine.get ())) );
+                  ( "speedup",
+                    match !speedup with
+                    | None -> Json.Null
+                    | Some s -> Json.float_opt s );
+                ] );
             ( "experiments",
               Json.List
                 (List.rev_map

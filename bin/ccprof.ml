@@ -71,6 +71,13 @@ let summary_doc path doc =
         ])
     aggs;
   Table.print table;
+  (match doc.Benchdata.engine with
+  | None -> ()
+  | Some e ->
+      Printf.printf "engine: %d domain(s)%s\n" e.Benchdata.domains
+        (match e.Benchdata.speedup with
+        | None -> ""
+        | Some s -> Printf.sprintf ", strong-scaling speedup %.2fx" s));
   Printf.printf
     "%d experiments, %d records (ratio = measured / paper bound; imbalance \
      = hottest machine / balanced ideal)\n"

@@ -83,7 +83,33 @@ let record_cmd =
       & info [ "o"; "output" ] ~doc:"Write the recorder JSONL to $(docv)."
           ~docv:"FILE")
   in
-  let run algo family size seed drop_prob fault_seed out =
+  let domains_t =
+    let domains_conv =
+      let parse s =
+        Result.map_error (fun m -> `Msg m) (Cc_engine.parse_domains s)
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    let doc =
+      "Number of OCaml domains for local computation. The recorded log and \
+       its digest are bit-identical for any value — that is the property \
+       the determinism CI job checks with $(b,ccreplay diff)."
+    in
+    let install = function
+      | None -> ()
+      | Some d ->
+          let e = Cc_engine.create ~domains:d () in
+          Cc_engine.set_default e;
+          at_exit (fun () -> Cc_engine.shutdown e)
+    in
+    Term.(
+      const install
+      $ Arg.(
+          value
+          & opt (some domains_conv) None
+          & info [ "domains" ] ~doc ~docv:"N"))
+  in
+  let run () algo family size seed drop_prob fault_seed out =
     let prng = Prng.create ~seed in
     let g =
       match Gen.family_of_string family with
@@ -134,8 +160,8 @@ let record_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ algo_t $ family_t $ size_t $ seed_t $ drop_t $ fault_seed_t
-      $ out_t)
+      const run $ domains_t $ algo_t $ family_t $ size_t $ seed_t $ drop_t
+      $ fault_seed_t $ out_t)
 
 (* --- check --- *)
 

@@ -32,6 +32,36 @@ let seed_t =
   let doc = "PRNG seed (runs are deterministic given the seed)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
+(* Evaluating the term installs the requested engine as the process default;
+   without --domains the lazy default (CC_DOMAINS, else the runtime's
+   recommendation) stands. Results are bit-identical for any domain count. *)
+let domains_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Cc_engine.parse_domains s)
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let domains_t =
+  let doc =
+    "Number of OCaml domains for local per-machine computation (including \
+     the main domain). Defaults to $(b,CC_DOMAINS) when set, else the \
+     runtime's recommended domain count. Output is bit-identical for any \
+     value."
+  in
+  let install = function
+    | None -> ()
+    | Some d ->
+        let e = Cc_engine.create ~domains:d () in
+        Cc_engine.set_default e;
+        at_exit (fun () -> Cc_engine.shutdown e)
+  in
+  Term.(
+    const install
+    $ Arg.(
+        value
+        & opt (some domains_conv) None
+        & info [ "domains" ] ~doc ~docv:"N"))
+
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
@@ -320,8 +350,8 @@ let sample_cmd =
     in
     Arg.(value & opt string "cc" & info [ "method" ] ~doc)
   in
-  let run seed verbose family size file weights trials ledger alpha bits method_
-      faults obs =
+  let run () seed verbose family size file weights trials ledger alpha bits
+      method_ faults obs =
     setup_logs verbose;
     let prng = Prng.create ~seed in
     let g = load_graph ?weights ~family ~size ~file ~prng () in
@@ -378,8 +408,9 @@ let sample_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ seed_t $ verbose_t $ family_t $ size_t $ file_t $ weights_t
-      $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t $ faults_t $ obs_t)
+      const run $ domains_t $ seed_t $ verbose_t $ family_t $ size_t $ file_t
+      $ weights_t $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t
+      $ faults_t $ obs_t)
 
 (* --- doubling --- *)
 
@@ -387,7 +418,7 @@ let doubling_cmd =
   let tau_t =
     Arg.(value & opt int 0 & info [ "tau" ] ~doc:"Walk length (0 = sample a tree instead).")
   in
-  let run seed family size file tau faults obs =
+  let run () seed family size file tau faults obs =
     let prng = Prng.create ~seed in
     let g = load_graph ~family ~size ~file ~prng () in
     let n = Graph.n g in
@@ -419,8 +450,8 @@ let doubling_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ seed_t $ family_t $ size_t $ file_t $ tau_t $ faults_t
-      $ obs_t)
+      const run $ domains_t $ seed_t $ family_t $ size_t $ file_t $ tau_t
+      $ faults_t $ obs_t)
 
 (* --- walk --- *)
 
@@ -453,7 +484,7 @@ let schur_cmd =
       & opt (some string) None
       & info [ "subset" ] ~doc:"Comma-separated vertex subset S (default: even vertices).")
   in
-  let run seed family size file s_spec =
+  let run () seed family size file s_spec =
     let prng = Prng.create ~seed in
     let g = load_graph ~family ~size ~file ~prng () in
     let n = Graph.n g in
@@ -475,26 +506,27 @@ let schur_cmd =
       (Cc_schur.Shortcut.exact g ~in_s)
   in
   let info = Cmd.info "schur" ~doc:"Print SCHUR(G,S) and SHORTCUT(G,S)." in
-  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t $ s_t)
+  Cmd.v info
+    Term.(const run $ domains_t $ seed_t $ family_t $ size_t $ file_t $ s_t)
 
 (* --- count --- *)
 
 let count_cmd =
-  let run seed family size file =
+  let run () seed family size file =
     let prng = Prng.create ~seed in
     let g = load_graph ~family ~size ~file ~prng () in
     let log_count = Tree.log_count g in
     Printf.printf "spanning trees: %.6g (log = %.4f)\n" (Float.exp log_count) log_count
   in
   let info = Cmd.info "count" ~doc:"Count spanning trees via the Matrix-Tree theorem." in
-  Cmd.v info Term.(const run $ seed_t $ family_t $ size_t $ file_t)
+  Cmd.v info Term.(const run $ domains_t $ seed_t $ family_t $ size_t $ file_t)
 
 (* --- pagerank --- *)
 
 let pagerank_cmd =
   let eps_t = Arg.(value & opt float 0.15 & info [ "epsilon" ] ~doc:"Restart probability.") in
   let walks_t = Arg.(value & opt int 32 & info [ "walks" ] ~doc:"Walks per vertex.") in
-  let run seed family size file epsilon walks obs =
+  let run () seed family size file epsilon walks obs =
     let prng = Prng.create ~seed in
     let g = load_graph ~family ~size ~file ~prng () in
     let n = Graph.n g in
@@ -508,7 +540,8 @@ let pagerank_cmd =
   let info = Cmd.info "pagerank" ~doc:"PageRank from doubling walks vs power iteration." in
   Cmd.v info
     Term.(
-      const run $ seed_t $ family_t $ size_t $ file_t $ eps_t $ walks_t $ obs_t)
+      const run $ domains_t $ seed_t $ family_t $ size_t $ file_t $ eps_t
+      $ walks_t $ obs_t)
 
 (* --- congest --- *)
 

@@ -41,7 +41,11 @@ let mul net backend a b =
   Cc_obs.Metrics.incr "matmul.muls";
   Cc_obs.Trace.with_span "matmul.mul"
     ~args:
-      [ ("dim", string_of_int dim); ("backend", backend_name backend) ]
+      [
+        ("dim", string_of_int dim);
+        ("backend", backend_name backend);
+        ("domains", string_of_int (Cc_engine.domains (Cc_engine.get ())));
+      ]
   @@ fun () ->
   (match backend with
   | Charged _ -> Net.charge net ~label:"matmul" (mul_cost net backend ~dim)

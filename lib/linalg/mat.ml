@@ -1,16 +1,28 @@
 type t = { rows : int; cols : int; data : float array }
 
+(* Row kernels below this much work run inline: the engine's dispatch cost
+   only pays for itself on large operands. The cutoff gates the execution
+   strategy, never the arithmetic, so results are bit-identical either way. *)
+let par_threshold = 1 lsl 15
+
 let create ~rows ~cols v =
   if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: nonpositive dims";
   { rows; cols; data = Array.make (rows * cols) v }
 
 let init ~rows ~cols f =
   let m = create ~rows ~cols 0.0 in
-  for i = 0 to rows - 1 do
+  let fill_row i =
     for j = 0 to cols - 1 do
       m.data.((i * cols) + j) <- f i j
     done
-  done;
+  in
+  let engine = Cc_engine.get () in
+  if rows * cols >= par_threshold && Cc_engine.is_parallel engine then
+    Cc_engine.parallel_for engine ~lo:0 ~hi:rows fill_row
+  else
+    for i = 0 to rows - 1 do
+      fill_row i
+    done;
   m
 
 let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1.0 else 0.0)
@@ -65,11 +77,14 @@ let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
 
 let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> get m j i)
 
-(* i-k-j loop order: the inner loop walks both [b] and [out] row-contiguously. *)
+(* i-k-j loop order: the inner loop walks both [b] and [out] row-contiguously.
+   Rows of [out] are independent, so large products fan the row loop out over
+   the engine; each row's k-j accumulation order is unchanged, keeping the
+   floating-point result bit-identical at every domain count. *)
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
   let out = create ~rows:a.rows ~cols:b.cols 0.0 in
-  for i = 0 to a.rows - 1 do
+  let row i =
     for k = 0 to a.cols - 1 do
       let aik = a.data.((i * a.cols) + k) in
       if aik <> 0.0 then
@@ -78,7 +93,14 @@ let mul a b =
           out.data.(orow + j) <- out.data.(orow + j) +. (aik *. b.data.(brow + j))
         done
     done
-  done;
+  in
+  let engine = Cc_engine.get () in
+  if a.rows * a.cols * b.cols >= par_threshold && Cc_engine.is_parallel engine
+  then Cc_engine.parallel_for engine ~lo:0 ~hi:a.rows row
+  else
+    for i = 0 to a.rows - 1 do
+      row i
+    done;
   out
 
 let mul_vec m v =

@@ -7,6 +7,13 @@
 
 type t
 
+(** Minimum work estimate (entries touched) before a row kernel dispatches
+    through {!Cc_engine.parallel_for}. The cutoff picks the execution
+    strategy only — results are bit-identical on either path — and is shared
+    by the other dense kernels ([Solve], [Shortcut]) so the whole linalg
+    layer flips to parallel at a consistent operand size. *)
+val par_threshold : int
+
 (** {1 Construction and access} *)
 
 val create : rows:int -> cols:int -> float -> t

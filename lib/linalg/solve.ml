@@ -70,16 +70,27 @@ let lu_solve f b =
 
 let solve m b = lu_solve (lu m) b
 
+(* The LU factorisation is sequential (loop-carried pivoting), but the [k]
+   right-hand sides are independent: each column solve reads the shared
+   factors and writes only its own column of [out], so large systems fan the
+   column loop out over the engine with bit-identical results. *)
 let solve_mat m b =
   let f = lu m in
   let n = Mat.rows b and k = Mat.cols b in
   let out = Mat.create ~rows:n ~cols:k 0.0 in
-  for j = 0 to k - 1 do
+  let solve_col j =
     let x = lu_solve f (Mat.col b j) in
     for i = 0 to n - 1 do
       Mat.set out i j x.(i)
     done
-  done;
+  in
+  let engine = Cc_engine.get () in
+  if n * n * k >= Mat.par_threshold && Cc_engine.is_parallel engine then
+    Cc_engine.parallel_for engine ~lo:0 ~hi:k solve_col
+  else
+    for j = 0 to k - 1 do
+      solve_col j
+    done;
   out
 
 let inverse m = solve_mat m (Mat.identity (Mat.rows m))

@@ -1,7 +1,8 @@
 (** Parsed [cc-bench/*] benchmark documents and baseline diffing.
 
     The bench harness's [--json FILE] flag writes one JSON document per run
-    (schema [cc-bench/1], or [cc-bench/2] with per-experiment load fields).
+    (schema [cc-bench/1]; [cc-bench/2] adds per-experiment load fields;
+    [cc-bench/3] adds the top-level engine object).
     This module reads those documents back, aggregates the per-row records
     into per-experiment summaries, and diffs two runs by their measured/bound
     ratios — the seed-deterministic quantity a regression gate can pin. The
@@ -23,9 +24,16 @@ type experiment = {
   imbalance : float option;  (** cc-bench/2: max over the run's nets. *)
 }
 
+type engine_info = {
+  domains : int;  (** domain count the run executed with. *)
+  speedup : float option;
+      (** strong-scaling speedup at that count (P1); [None] when unmeasured. *)
+}
+
 type doc = {
-  schema : string;  (** ["cc-bench/1"] or ["cc-bench/2"]. *)
+  schema : string;  (** ["cc-bench/1"], ["cc-bench/2"], or ["cc-bench/3"]. *)
   fast : bool;
+  engine : engine_info option;  (** cc-bench/3 only; [None] in /1 and /2. *)
   experiments : experiment list;  (** in run order. *)
   records : record list;  (** in emission order. *)
 }

@@ -38,11 +38,15 @@ let transition_via_shortcut g q ~s =
   let k = Array.length s in
   (* R[u,v] = w(u,v)/w_S(u) for edges u~v with v in S (Corollary 4,
      generalized to weights; = 1/deg_S(u) when unweighted). *)
+  (* Per-machine S-weights, hoisted out of the n^2 init: each entry of R
+     only needs its row's total edge weight into S. *)
+  let ws =
+    Cc_engine.parallel_map (Cc_engine.get ()) n (Shortcut.s_weight g ~in_s)
+  in
   let r =
     Mat.init ~rows:n ~cols:n (fun u v ->
-        let ws = Shortcut.s_weight g ~in_s u in
-        if ws = 0.0 then if u = v then 1.0 else 0.0
-        else if in_s.(v) then Graph.edge_weight g u v /. ws
+        if ws.(u) = 0.0 then if u = v then 1.0 else 0.0
+        else if in_s.(v) then Graph.edge_weight g u v /. ws.(u)
         else 0.0)
   in
   let m = Mat.mul q r in

@@ -31,10 +31,12 @@ let exact g ~in_s =
   (* Transient chain: moves only to vertices outside S. *)
   let t = Mat.init ~rows:n ~cols:n (fun w x -> if in_s.(x) then 0.0 else Mat.get p w x) in
   let i_minus_t = Mat.sub (Mat.identity n) t in
-  (* Q = (I - T)^{-1} diag(s_mass). *)
+  (* Q = (I - T)^{-1} diag(s_mass). Hoist the per-column S-mass out of the
+     n^2 init (it only depends on the column) — one engine pass over the
+     machines instead of an O(n) rescan per entry. *)
   let fundamental = Solve.inverse i_minus_t in
-  Mat.init ~rows:n ~cols:n (fun u v ->
-      Mat.get fundamental u v *. s_mass p ~in_s v)
+  let sm = Cc_engine.parallel_map (Cc_engine.get ()) n (s_mass p ~in_s) in
+  Mat.init ~rows:n ~cols:n (fun u v -> Mat.get fundamental u v *. sm.(v))
 
 (* The 2n x 2n auxiliary chain of Corollary 3: states 0..n-1 are L-copies
    (walking, not yet entered S), states n..2n-1 are absorbing R-copies. *)

@@ -13,9 +13,9 @@ val field_prime : int
 
 (** [create prng ~independence ~domain ~range] samples a hash function from a
     family that is [independence]-wise independent on inputs in
-    [0, domain) mapped to [0, range). Requires [domain < field_prime] and
-    [range <= domain] or not — range may be anything positive.
-    @raise Invalid_argument if the domain does not fit inside the field. *)
+    [0, domain) mapped to [0, range). Requires [0 < domain < field_prime],
+    [independence > 0], and [range > 0]; [range] may exceed [domain].
+    @raise Invalid_argument when any requirement fails. *)
 val create : Prng.t -> independence:int -> domain:int -> range:int -> t
 
 (** [apply h x] evaluates the hash at [x] (0 <= x < domain). *)

@@ -3,6 +3,7 @@ type t = Random.State.t
 let create ~seed = Random.State.make [| seed; 0x5eed; seed lxor 0x9e3779b9 |]
 
 let split t = Random.State.split t
+let streams t n = Array.init n (fun _ -> split t)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";

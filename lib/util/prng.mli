@@ -14,6 +14,12 @@ val create : seed:int -> t
     generator advances; repeated splits yield distinct streams. *)
 val split : t -> t
 
+(** [streams t n] is [n] independent generators split off [t] in index order.
+    This is the idiom for deterministic parallelism: split one stream per
+    machine {e before} entering a parallel region, so each machine's draws
+    are the same whatever the domain count or scheduling order. *)
+val streams : t -> int -> t array
+
 (** [int t bound] is uniform on [0, bound). [bound] must be positive. *)
 val int : t -> int -> int
 

@@ -498,6 +498,7 @@ let doc_of_ratios pairs =
   {
     Benchdata.schema = "cc-bench/2";
     fast = true;
+    engine = None;
     experiments =
       List.map
         (fun (id, _) ->

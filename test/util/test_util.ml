@@ -102,6 +102,21 @@ let test_prng_parent_stream_after_split () =
       (Prng.int b 1000)
   done
 
+(* [streams] must split in index order off the parent — the engine's
+   determinism contract keys per-machine draws to that order. *)
+let test_prng_streams_match_manual_splits () =
+  let a = Prng.create ~seed:37 and b = Prng.create ~seed:37 in
+  let via_helper = Prng.streams a 8 in
+  let manual = Array.init 8 (fun _ -> Prng.split b) in
+  Array.iteri
+    (fun i s ->
+      let xs = List.init 20 (fun _ -> Prng.int s 1_000_000) in
+      let ys = List.init 20 (fun _ -> Prng.int manual.(i) 1_000_000) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "stream %d matches manual split" i)
+        ys xs)
+    via_helper
+
 (* --- Kwise_hash --- *)
 
 let test_hash_in_range () =
@@ -138,6 +153,27 @@ let test_hash_description_bits () =
   let prng = Prng.create ~seed:5 in
   let h = Kwise_hash.create prng ~independence:10 ~domain:100 ~range:10 in
   Alcotest.(check int) "t * 31 bits" 310 (Kwise_hash.description_bits h)
+
+let test_hash_rejects_bad_arguments () =
+  let prng = Prng.create ~seed:5 in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  expect_invalid "range = 0" (fun () ->
+      Kwise_hash.create prng ~independence:4 ~domain:100 ~range:0);
+  expect_invalid "range < 0" (fun () ->
+      Kwise_hash.create prng ~independence:4 ~domain:100 ~range:(-3));
+  expect_invalid "independence = 0" (fun () ->
+      Kwise_hash.create prng ~independence:0 ~domain:100 ~range:10);
+  expect_invalid "domain = 0" (fun () ->
+      Kwise_hash.create prng ~independence:4 ~domain:0 ~range:10);
+  expect_invalid "domain >= field" (fun () ->
+      Kwise_hash.create prng ~independence:4 ~domain:Kwise_hash.field_prime
+        ~range:10);
+  (* range > domain is explicitly allowed. *)
+  ignore (Kwise_hash.create prng ~independence:4 ~domain:100 ~range:1_000)
 
 let test_hash_pairwise_collision_rate () =
   (* For a pairwise-independent family, Pr[h(x) = h(y)] = 1/range. *)
@@ -438,6 +474,8 @@ let () =
             test_prng_split_child_differs_from_parent;
           Alcotest.test_case "parent stream after split" `Quick
             test_prng_parent_stream_after_split;
+          Alcotest.test_case "streams match manual splits" `Quick
+            test_prng_streams_match_manual_splits;
         ] );
       ( "kwise_hash",
         [
@@ -446,6 +484,8 @@ let () =
           Alcotest.test_case "uniformity" `Quick test_hash_roughly_uniform;
           Alcotest.test_case "description bits" `Quick test_hash_description_bits;
           Alcotest.test_case "pairwise collisions" `Slow test_hash_pairwise_collision_rate;
+          Alcotest.test_case "rejects bad arguments" `Quick
+            test_hash_rejects_bad_arguments;
         ] );
       ( "dist",
         [
