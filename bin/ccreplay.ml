@@ -20,10 +20,15 @@ module Sampler = Cc_sampler.Sampler
 module Doubling = Cc_doubling.Doubling
 module Recorder = Cc_obs.Recorder
 module Invariant = Cc_obs.Invariant
+module Transport = Cc_transport.Transport
 open Cmdliner
 
 let exit_divergence = 1
 let exit_bad_input = 2
+
+let fail_usage msg =
+  prerr_endline ("ccreplay: " ^ msg);
+  exit exit_bad_input
 
 let read_file path =
   match
@@ -84,18 +89,27 @@ let record_cmd =
           ~docv:"FILE")
   in
   let domains_t =
-    let domains_conv =
-      let parse s =
-        Result.map_error (fun m -> `Msg m) (Cc_engine.parse_domains s)
-      in
-      Arg.conv (parse, Format.pp_print_int)
-    in
     let doc =
       "Number of OCaml domains for local computation. The recorded log and \
        its digest are bit-identical for any value — that is the property \
        the determinism CI job checks with $(b,ccreplay diff)."
     in
-    let install = function
+    let install spec =
+      let chosen =
+        match spec with
+        | Some s -> (
+            match Cc_engine.parse_domains s with
+            | Ok d -> Some d
+            | Error e -> fail_usage ("--domains: " ^ e))
+        | None -> (
+            match Sys.getenv_opt Cc_engine.env_var with
+            | None -> None
+            | Some s -> (
+                match Cc_engine.parse_domains s with
+                | Ok _ -> None
+                | Error e -> fail_usage (Cc_engine.env_var ^ ": " ^ e)))
+      in
+      match chosen with
       | None -> ()
       | Some d ->
           let e = Cc_engine.create ~domains:d () in
@@ -105,11 +119,33 @@ let record_cmd =
     Term.(
       const install
       $ Arg.(
-          value
-          & opt (some domains_conv) None
-          & info [ "domains" ] ~doc ~docv:"N"))
+          value & opt (some string) None & info [ "domains" ] ~doc ~docv:"N"))
   in
-  let run () algo family size seed drop_prob fault_seed out =
+  let transport_t =
+    let doc =
+      "Execution transport for the recorded run: $(b,inproc) or \
+       $(b,mpproc). The recorded log and its digest are bit-identical on \
+       both — that is the cross-transport determinism contract the CI job \
+       checks with $(b,ccreplay diff)."
+    in
+    let resolve spec =
+      match spec with
+      | Some s -> (
+          match Transport.kind_of_string s with
+          | Ok k -> k
+          | Error e -> fail_usage ("--transport: " ^ e))
+      | None -> (
+          match Transport.kind_from_env () with
+          | Ok (Some k) -> k
+          | Ok None -> Transport.Inproc
+          | Error e -> fail_usage e)
+    in
+    Term.(
+      const resolve
+      $ Arg.(
+          value & opt (some string) None & info [ "transport" ] ~doc ~docv:"T"))
+  in
+  let run () algo family size seed drop_prob fault_seed out transport =
     let prng = Prng.create ~seed in
     let g =
       match Gen.family_of_string family with
@@ -131,6 +167,14 @@ let record_cmd =
     let inv = Invariant.create ~machines:n () in
     ignore (Net.attach_recorder net recorder);
     ignore (Net.attach_invariant net inv);
+    let tr =
+      match transport with
+      | Transport.Inproc -> None
+      | Transport.Mpproc ->
+          let tr = Transport.mpproc ~machines:n () in
+          Net.set_transport net tr;
+          Some tr
+    in
     (match String.lowercase_ascii algo with
     | "sample" -> ignore (Sampler.sample net prng g)
     | "doubling" ->
@@ -138,6 +182,15 @@ let record_cmd =
     | a ->
         Printf.eprintf "ccreplay: unknown workload %S\n" a;
         exit exit_bad_input);
+    (* Transport health goes to stderr: stdout (and the log itself) must be
+       byte-identical across transports. *)
+    (match tr with
+    | None -> ()
+    | Some tr ->
+        tr.Transport.sync ();
+        Printf.eprintf "# transport: %s (%s)\n" tr.Transport.name
+          (Transport.health_summary (tr.Transport.health ()));
+        tr.Transport.shutdown ());
     let lv = Net.ledger_violations net inv in
     let oc = open_out out in
     output_string oc (Recorder.to_jsonl recorder);
@@ -161,7 +214,7 @@ let record_cmd =
   Cmd.v info
     Term.(
       const run $ domains_t $ algo_t $ family_t $ size_t $ seed_t $ drop_t
-      $ fault_seed_t $ out_t)
+      $ fault_seed_t $ out_t $ transport_t)
 
 (* --- check --- *)
 
@@ -255,4 +308,8 @@ let main =
   let info = Cmd.info "ccreplay" ~version:"1.0.0" ~doc in
   Cmd.group info [ record_cmd; check_cmd; diff_cmd; timeline_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Worker entrypoint first: when re-exec'd by the Mpproc supervisor this
+     process is a shard worker, not a CLI. *)
+  Cc_transport.Worker.maybe_run_as_worker ();
+  exit (Cmd.eval main)

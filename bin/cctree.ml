@@ -20,11 +20,20 @@ module Fault = Cc_clique.Fault
 module Prng = Cc_util.Prng
 module Sampler = Cc_sampler.Sampler
 module Doubling = Cc_doubling.Doubling
+module Transport = Cc_transport.Transport
 open Cmdliner
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+(* Invalid flag or environment values exit with the conventional usage code
+   2 and a one-line message — not cmdliner's 124, and never a traceback. *)
+let exit_usage = 2
+
+let fail_usage msg =
+  prerr_endline ("cctree: " ^ msg);
+  exit exit_usage
 
 (* --- common options --- *)
 
@@ -34,13 +43,10 @@ let seed_t =
 
 (* Evaluating the term installs the requested engine as the process default;
    without --domains the lazy default (CC_DOMAINS, else the runtime's
-   recommendation) stands. Results are bit-identical for any domain count. *)
-let domains_conv =
-  let parse s =
-    Result.map_error (fun m -> `Msg m) (Cc_engine.parse_domains s)
-  in
-  Arg.conv (parse, Format.pp_print_int)
-
+   recommendation) stands. Results are bit-identical for any domain count.
+   Validation is by hand (the flag is a plain string): empty or non-numeric
+   values — on the flag or in CC_DOMAINS — get the one-line error and exit
+   code 2. *)
 let domains_t =
   let doc =
     "Number of OCaml domains for local per-machine computation (including \
@@ -48,7 +54,25 @@ let domains_t =
      runtime's recommended domain count. Output is bit-identical for any \
      value."
   in
-  let install = function
+  let install spec =
+    let chosen =
+      match spec with
+      | Some s -> (
+          match Cc_engine.parse_domains s with
+          | Ok d -> Some d
+          | Error e -> fail_usage ("--domains: " ^ e))
+      | None -> (
+          (* No flag: the engine's lazy default will consult CC_DOMAINS, so
+             surface a bad value now, as a usage error rather than a
+             mid-run Invalid_argument. *)
+          match Sys.getenv_opt Cc_engine.env_var with
+          | None -> None
+          | Some s -> (
+              match Cc_engine.parse_domains s with
+              | Ok _ -> None
+              | Error e -> fail_usage (Cc_engine.env_var ^ ": " ^ e)))
+    in
+    match chosen with
     | None -> ()
     | Some d ->
         let e = Cc_engine.create ~domains:d () in
@@ -58,9 +82,60 @@ let domains_t =
   Term.(
     const install
     $ Arg.(
-        value
-        & opt (some domains_conv) None
-        & info [ "domains" ] ~doc ~docv:"N"))
+        value & opt (some string) None & info [ "domains" ] ~doc ~docv:"N"))
+
+(* --- transport selection (shared by sample / doubling) --- *)
+
+let transport_kind_t =
+  let doc =
+    "Execution transport: $(b,inproc) (single-process simulator) or \
+     $(b,mpproc) (machines sharded across supervised OS worker processes \
+     with heartbeats, retransmission, and respawn-or-reroute recovery). \
+     Defaults to $(b,CC_TRANSPORT) when set, else inproc. Ledger and \
+     recorder digests are identical on both."
+  in
+  let resolve spec =
+    match spec with
+    | Some s -> (
+        match Transport.kind_of_string s with
+        | Ok k -> k
+        | Error e -> fail_usage ("--transport: " ^ e))
+    | None -> (
+        match Transport.kind_from_env () with
+        | Ok (Some k) -> k
+        | Ok None -> Transport.Inproc
+        | Error e -> fail_usage e)
+  in
+  Term.(
+    const resolve
+    $ Arg.(
+        value & opt (some string) None & info [ "transport" ] ~doc ~docv:"T"))
+
+(* Run [f] with the requested transport installed on [net]; at end of run,
+   sync the workers, report health, and shut the pool down. Returns [true]
+   when the transport degraded (no live workers left) — the transport-level
+   Unrecoverable, mapped to the same exit code. *)
+let with_transport kind net f =
+  match kind with
+  | Transport.Inproc ->
+      f ();
+      false
+  | Transport.Mpproc ->
+      let tr = Transport.mpproc ~machines:(Net.n net) () in
+      Net.set_transport net tr;
+      Fun.protect
+        ~finally:(fun () -> tr.Transport.shutdown ())
+        (fun () ->
+          f ();
+          tr.Transport.sync ();
+          let h = tr.Transport.health () in
+          Format.printf "# transport: %s (%s)@." tr.Transport.name
+            (Transport.health_summary h);
+          match h with
+          | Cc_transport.Supervisor.Degraded _ -> true
+          | Cc_transport.Supervisor.All_healthy
+          | Cc_transport.Supervisor.Recovered _ ->
+              false)
 
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
@@ -351,7 +426,7 @@ let sample_cmd =
     Arg.(value & opt string "cc" & info [ "method" ] ~doc)
   in
   let run () seed verbose family size file weights trials ledger alpha bits
-      method_ faults obs =
+      method_ faults obs transport =
     setup_logs verbose;
     let prng = Prng.create ~seed in
     let g = load_graph ?weights ~family ~size ~file ~prng () in
@@ -365,6 +440,8 @@ let sample_cmd =
       }
     in
     let unrecoverable = ref false in
+    let degraded =
+      with_transport transport net (fun () ->
     with_obs obs net (fun () ->
     for t = 1 to trials do
       (match String.lowercase_ascii method_ with
@@ -399,8 +476,9 @@ let sample_cmd =
       | m -> failwith ("unknown method: " ^ m))
     done;
     print_fault_summary faults net;
-    if ledger then Format.printf "%a@." Net.pp_ledger net);
-    if !unrecoverable then exit exit_unrecoverable
+    if ledger then Format.printf "%a@." Net.pp_ledger net))
+    in
+    if !unrecoverable || degraded then exit exit_unrecoverable
   in
   let info =
     Cmd.info "sample"
@@ -410,7 +488,7 @@ let sample_cmd =
     Term.(
       const run $ domains_t $ seed_t $ verbose_t $ family_t $ size_t $ file_t
       $ weights_t $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t
-      $ faults_t $ obs_t)
+      $ faults_t $ obs_t $ transport_kind_t)
 
 (* --- doubling --- *)
 
@@ -418,12 +496,14 @@ let doubling_cmd =
   let tau_t =
     Arg.(value & opt int 0 & info [ "tau" ] ~doc:"Walk length (0 = sample a tree instead).")
   in
-  let run () seed family size file tau faults obs =
+  let run () seed family size file tau faults obs transport =
     let prng = Prng.create ~seed in
     let g = load_graph ~family ~size ~file ~prng () in
     let n = Graph.n g in
     let net = arm_faults faults (Net.create ~n) in
     let unrecoverable = ref false in
+    let degraded =
+      with_transport transport net (fun () ->
     with_obs obs net (fun () ->
     if tau > 0 then begin
       let r = Doubling.run net prng g ~tau ~scheme:(Doubling.default_scheme ~n) in
@@ -441,8 +521,9 @@ let doubling_cmd =
         (Net.rounds net) walk_len;
       print_tree tree
     end;
-    print_fault_summary faults net);
-    if !unrecoverable then exit exit_unrecoverable
+    print_fault_summary faults net))
+    in
+    if !unrecoverable || degraded then exit exit_unrecoverable
   in
   let info =
     Cmd.info "doubling"
@@ -451,7 +532,7 @@ let doubling_cmd =
   Cmd.v info
     Term.(
       const run $ domains_t $ seed_t $ family_t $ size_t $ file_t $ tau_t
-      $ faults_t $ obs_t)
+      $ faults_t $ obs_t $ transport_kind_t)
 
 (* --- walk --- *)
 
@@ -605,4 +686,8 @@ let main =
     [ sample_cmd; doubling_cmd; walk_cmd; schur_cmd; count_cmd; pagerank_cmd;
       sparsify_cmd; congest_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Worker entrypoint first: when re-exec'd by the Mpproc supervisor this
+     process is a shard worker, not a CLI. *)
+  Cc_transport.Worker.maybe_run_as_worker ();
+  exit (Cmd.eval main)

@@ -109,12 +109,24 @@ let crashed t = List.sort compare (Hashtbl.fold (fun m () acc -> m :: acc) t.cra
 let any_crashed t = Hashtbl.length t.crashed_set > 0
 
 let next_live t ~n from =
-  let rec go i remaining =
-    if remaining = 0 then None
-    else if not (is_crashed t (i mod n)) then Some (i mod n)
-    else go (i + 1) (remaining - 1)
+  if n <= 0 then invalid_arg "Fault.next_live: n must be positive";
+  (* Deterministic early exit when the whole clique is down: every start
+     index (negative, in range, or >= n) must yield None, not depend on
+     where the circular scan happens to begin. Crash schedules may name
+     machines outside [0, n), so count only the in-range ones. *)
+  let crashed_in_range =
+    Hashtbl.fold
+      (fun m () acc -> if m >= 0 && m < n then acc + 1 else acc)
+      t.crashed_set 0
   in
-  go (((from mod n) + n) mod n) n
+  if crashed_in_range >= n then None
+  else
+    let rec go i remaining =
+      if remaining = 0 then None
+      else if not (is_crashed t (i mod n)) then Some (i mod n)
+      else go (i + 1) (remaining - 1)
+    in
+    go (((from mod n) + n) mod n) n
 
 let drops t = t.n_drops
 let corruptions t = t.n_corruptions

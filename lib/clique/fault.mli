@@ -98,7 +98,15 @@ val crashed : t -> int list
 val any_crashed : t -> bool
 
 (** [next_live t ~n from] is the first non-crashed machine at or after [from]
-    (mod [n]), or [None] if every machine has failed. *)
+    (mod [n]), scanning circularly, or [None] iff every machine in [0, n) has
+    failed.
+
+    Contract: [from] may be any integer (it is reduced mod [n], so negative
+    and out-of-range start indices are fine), and the all-crashed answer is
+    [None] {e for every} start index — the result never depends on where the
+    circular scan begins. Machines outside [0, n) in the crash schedule are
+    ignored.
+    @raise Invalid_argument if [n <= 0]. *)
 val next_live : t -> n:int -> int -> int option
 
 (** {1 Recovery metrics}

@@ -41,14 +41,18 @@ let sequential = Sequential
 let env_var = "CC_DOMAINS"
 
 let parse_domains s =
-  match int_of_string_opt (String.trim s) with
-  | Some d when d >= 1 -> Ok d
-  | Some d -> Error (Printf.sprintf "domain count must be >= 1 (got %d)" d)
-  | None -> Error (Printf.sprintf "invalid domain count %S" s)
+  let trimmed = String.trim s in
+  if trimmed = "" then
+    Error "domain count must not be empty (expected an integer >= 1)"
+  else
+    match int_of_string_opt trimmed with
+    | Some d when d >= 1 -> Ok d
+    | Some d -> Error (Printf.sprintf "domain count must be >= 1 (got %d)" d)
+    | None -> Error (Printf.sprintf "invalid domain count %S" s)
 
 let default_domains () =
   match Sys.getenv_opt env_var with
-  | None | Some "" -> max 1 (Domain.recommended_domain_count ())
+  | None -> max 1 (Domain.recommended_domain_count ())
   | Some s -> (
       match parse_domains s with
       | Ok d -> d

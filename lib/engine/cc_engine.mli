@@ -63,14 +63,17 @@ val shutdown : t -> unit
 val env_var : string
 
 (** [parse_domains s] validates a user-supplied domain count: an integer
-    [>= 1]. Shared by the [--domains] flags of cctree/ccreplay/bench and the
-    environment fallback. *)
+    [>= 1]; empty (after trimming) and non-numeric values are errors with a
+    one-line message. Shared by the [--domains] flags of
+    cctree/ccreplay/bench and the environment fallback. *)
 val parse_domains : string -> (int, string) result
 
 (** [default_domains ()] is the domain count used when none is given
     explicitly: [$CC_DOMAINS] when set and valid, otherwise
     [Domain.recommended_domain_count ()].
-    @raise Invalid_argument if [CC_DOMAINS] is set but not a valid count. *)
+    @raise Invalid_argument if [CC_DOMAINS] is set but not a valid count —
+    set-but-empty included (the CLIs reject such values up front with exit
+    code 2). *)
 val default_domains : unit -> int
 
 (** {1 The process default engine} *)

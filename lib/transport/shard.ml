@@ -1,0 +1,65 @@
+type t = {
+  id : int;
+  lo : int;
+  hi : int;
+  sent : int array;
+  recv : int array;
+  mutable applied : int;
+  mutable digest : int64;
+}
+
+let create ~id ~lo ~hi =
+  if lo < 0 || hi <= lo then invalid_arg "Shard.create: need 0 <= lo < hi";
+  {
+    id;
+    lo;
+    hi;
+    sent = Array.make (hi - lo) 0;
+    recv = Array.make (hi - lo) 0;
+    applied = 0;
+    digest = Wire.fnv_basis;
+  }
+
+let width t = t.hi - t.lo
+
+type apply_result = Applied | Gap
+
+let add_slice dst slice =
+  Array.iteri (fun i w -> dst.(i) <- dst.(i) + w) slice
+
+let apply t ~seq (book : Wire.book) =
+  if seq <> t.applied + 1 then Gap
+  else begin
+    add_slice t.sent book.sent;
+    add_slice t.recv book.recv;
+    t.digest <- Wire.fnv64 t.digest (Wire.book_line ~shard:t.id ~seq book);
+    t.applied <- seq;
+    Applied
+  end
+
+let to_state t =
+  {
+    Wire.shard = t.id;
+    lo = t.lo;
+    hi = t.hi;
+    applied = t.applied;
+    digest = t.digest;
+    sent = Array.copy t.sent;
+    recv = Array.copy t.recv;
+  }
+
+let of_state (s : Wire.shard_state) =
+  if s.lo < 0 || s.hi <= s.lo then invalid_arg "Shard.of_state: bad range";
+  let w = s.hi - s.lo in
+  let take a = if Array.length a = w then Array.copy a else Array.make w 0 in
+  {
+    id = s.shard;
+    lo = s.lo;
+    hi = s.hi;
+    sent = take s.sent;
+    recv = take s.recv;
+    applied = s.applied;
+    digest = s.digest;
+  }
+
+let digest_hex t = Printf.sprintf "fnv64:%016Lx" t.digest

@@ -1,0 +1,48 @@
+(** Shard state machine of the multi-process transport.
+
+    A shard is a contiguous block of clique machines [\[lo, hi)] together
+    with the per-machine word counters booked against them and a running
+    digest over every applied {!Wire.book}. The same module runs on both
+    sides of the socket: each worker process holds the shards it serves, and
+    the supervisor holds an authoritative {e mirror} of every shard — the
+    checkpoint a killed worker is restored from, and the reference the
+    worker's digest is cross-checked against at every sync.
+
+    Applying a book is deterministic and order-sensitive (the digest folds
+    the canonical line of every book in sequence), so equal
+    [(applied, digest)] pairs prove the worker saw exactly the bytes the
+    mirror did — the cross-process half of the repo's determinism
+    contract. *)
+
+type t = {
+  id : int;
+  lo : int;
+  hi : int;  (** exclusive. *)
+  sent : int array;  (** words sent per machine of the shard ([hi - lo]). *)
+  recv : int array;
+  mutable applied : int;
+  mutable digest : int64;
+}
+
+(** [create ~id ~lo ~hi] is an empty shard.
+    @raise Invalid_argument unless [0 <= lo < hi]. *)
+val create : id:int -> lo:int -> hi:int -> t
+
+val width : t -> int
+
+type apply_result =
+  | Applied
+  | Gap
+      (** [seq <> applied + 1]: a predecessor was lost or corrupted on the
+          wire. The book is ignored; the supervisor retransmits from
+          [applied + 1] after the next status poll (go-back-N). *)
+
+(** [apply t ~seq book] folds book [seq] into the shard iff it is the next
+    expected one. [book.sent]/[book.recv] are this shard's slices ([[||]]
+    means all-zero). *)
+val apply : t -> seq:int -> Wire.book -> apply_result
+
+val to_state : t -> Wire.shard_state
+val of_state : Wire.shard_state -> t
+
+val digest_hex : t -> string

@@ -1,0 +1,552 @@
+module Prng = Cc_util.Prng
+module Metrics = Cc_obs.Metrics
+module Trace = Cc_obs.Trace
+
+type config = {
+  workers : int;
+  status_timeout : float;
+  max_attempts : int;
+  max_respawns : int;
+  sync_every : int;
+  wire_drop_prob : float;
+  wire_corrupt_prob : float;
+  wire_seed : int;
+}
+
+let default_config =
+  {
+    workers = 4;
+    status_timeout = 2.0;
+    max_attempts = 3;
+    max_respawns = 2;
+    sync_every = 512;
+    wire_drop_prob = 0.0;
+    wire_corrupt_prob = 0.0;
+    wire_seed = 0;
+  }
+
+type health =
+  | All_healthy
+  | Recovered of { respawns : int; reroutes : int; wire_retries : int }
+  | Degraded of { reason : string }
+
+let pp_health fmt = function
+  | All_healthy -> Format.fprintf fmt "all healthy"
+  | Recovered { respawns; reroutes; wire_retries } ->
+      Format.fprintf fmt "recovered (respawns=%d, reroutes=%d, wire retries=%d)"
+        respawns reroutes wire_retries
+  | Degraded { reason } -> Format.fprintf fmt "degraded to inproc: %s" reason
+
+type snapshot = {
+  books : int;
+  kills : int;
+  respawns : int;
+  reroutes : int;
+  wire_drops : int;
+  wire_corrupts : int;
+  wire_retries : int;
+  syncs : int;
+  recovery_s : float;
+}
+
+type conn = { pid : int; fd : Unix.file_descr }
+
+type wslot = {
+  wid : int;
+  mutable conn : conn option;
+  mutable respawns_used : int;
+}
+
+type shardrec = {
+  mirror : Shard.t;
+  mutable owner : int;
+  (* Unacked books, newest first: (seq, encoded Book payload). Cleared when
+     a status poll confirms the worker caught up, or when a respawn/reroute
+     restores the shard from the mirror checkpoint. *)
+  mutable pending : (int * string) list;
+  mutable since_sync : int;
+}
+
+type t = {
+  n_machines : int;
+  config : config;
+  exe : string;
+  slots : wslot array;
+  shards : shardrec array;
+  wire_prng : Prng.t option;
+  mutable s_books : int;
+  mutable s_kills : int;
+  mutable s_respawns : int;
+  mutable s_reroutes : int;
+  mutable s_wire_drops : int;
+  mutable s_wire_corrupts : int;
+  mutable s_wire_retries : int;
+  mutable s_syncs : int;
+  mutable s_recovery : float;
+  mutable degraded : string option;
+  mutable shut : bool;
+}
+
+let machines t = t.n_machines
+
+let snapshot t =
+  {
+    books = t.s_books;
+    kills = t.s_kills;
+    respawns = t.s_respawns;
+    reroutes = t.s_reroutes;
+    wire_drops = t.s_wire_drops;
+    wire_corrupts = t.s_wire_corrupts;
+    wire_retries = t.s_wire_retries;
+    syncs = t.s_syncs;
+    recovery_s = t.s_recovery;
+  }
+
+let health t =
+  match t.degraded with
+  | Some reason -> Degraded { reason }
+  | None ->
+      if t.s_respawns + t.s_reroutes + t.s_wire_retries + t.s_kills > 0 then
+        Recovered
+          {
+            respawns = t.s_respawns;
+            reroutes = t.s_reroutes;
+            wire_retries = t.s_wire_retries;
+          }
+      else All_healthy
+
+let workers_alive t =
+  Array.fold_left
+    (fun acc s -> if s.conn <> None then acc + 1 else acc)
+    0 t.slots
+
+let pids t =
+  Array.to_list t.slots
+  |> List.filter_map (fun s -> Option.map (fun c -> c.pid) s.conn)
+
+let owner_of t m =
+  if m < 0 || m >= t.n_machines then invalid_arg "Supervisor.owner_of";
+  let sr =
+    Array.to_list t.shards
+    |> List.find (fun sr -> sr.mirror.Shard.lo <= m && m < sr.mirror.Shard.hi)
+  in
+  sr.owner
+
+(* --- process plumbing --- *)
+
+let reap pid =
+  (* SIGKILLed or exited children are collected promptly; a blocking waitpid
+     on a killed pid cannot hang. *)
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let close_conn c =
+  (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+let kill_conn c =
+  (try Unix.kill c.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  close_conn c;
+  reap c.pid
+
+let spawn t wid =
+  let parent_fd, child_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  Unix.set_close_on_exec parent_fd;
+  match
+    Unix.create_process t.exe
+      [| t.exe; Worker.argv_marker |]
+      child_fd child_fd Unix.stderr
+  with
+  | pid ->
+      Unix.close child_fd;
+      let c = { pid; fd = parent_fd } in
+      Wire.write_frame c.fd (Wire.encode (Wire.Hello { worker = wid }));
+      c
+  | exception e ->
+      (try Unix.close parent_fd with Unix.Unix_error _ -> ());
+      (try Unix.close child_fd with Unix.Unix_error _ -> ());
+      raise e
+
+let mark_dead slot =
+  match slot.conn with
+  | None -> ()
+  | Some c ->
+      kill_conn c;
+      slot.conn <- None
+
+let degrade t reason =
+  if t.degraded = None then begin
+    t.degraded <- Some reason;
+    Metrics.incr "transport.degraded";
+    Array.iter mark_dead t.slots
+  end
+
+(* Write a control frame (Hello/Install/Status_req/Shutdown) — never subject
+   to wire-fault injection, so supervision stays live under any drop rate. *)
+let send_ctl slot payload =
+  match slot.conn with
+  | None -> false
+  | Some c -> (
+      try
+        Wire.write_frame c.fd payload;
+        true
+      with Unix.Unix_error _ | Sys_error _ ->
+        mark_dead slot;
+        false)
+
+(* Write one Book frame through the wire-fault injector. Returns false when
+   the worker died under us (EPIPE). [inject] is false on retransmissions:
+   faults hit first transmissions only, so the go-back-N healing path always
+   converges — a lossy wire costs retries, never respawns. *)
+let send_book ?(inject = true) t slot payload =
+  match slot.conn with
+  | None -> false
+  | Some c -> (
+      let verdict =
+        match t.wire_prng with
+        | None -> `Send
+        | Some _ when not inject -> `Send
+        | Some p ->
+            let x = Prng.float p 1.0 in
+            if x < t.config.wire_drop_prob then `Drop
+            else if x < t.config.wire_drop_prob +. t.config.wire_corrupt_prob
+            then `Corrupt
+            else `Send
+      in
+      try
+        (match verdict with
+        | `Drop ->
+            t.s_wire_drops <- t.s_wire_drops + 1;
+            Metrics.incr "transport.wire_drops"
+        | `Corrupt ->
+            t.s_wire_corrupts <- t.s_wire_corrupts + 1;
+            Metrics.incr "transport.wire_corrupts";
+            Wire.write_frame_corrupted c.fd payload
+        | `Send -> Wire.write_frame c.fd payload);
+        true
+      with Unix.Unix_error _ | Sys_error _ ->
+        mark_dead slot;
+        false)
+
+let install_shard slot sr =
+  sr.pending <- [];
+  sr.since_sync <- 0;
+  ignore (send_ctl slot (Wire.encode (Wire.Install (Shard.to_state sr.mirror))))
+
+let shards_owned t wid =
+  Array.to_list t.shards |> List.filter (fun sr -> sr.owner = wid)
+
+(* Respawn-or-reroute recovery for one worker slot. The mirror is the
+   checkpoint: a respawned worker is restored with one Install per shard
+   (pending retransmission buffers become redundant and are cleared). *)
+let recover_slot t slot =
+  if t.degraded = None then begin
+    let t0 = Unix.gettimeofday () in
+    Trace.instant "transport.recover"
+      ~args:[ ("worker", string_of_int slot.wid) ];
+    mark_dead slot;
+    let restored =
+      if slot.respawns_used < t.config.max_respawns then (
+        match spawn t slot.wid with
+        | c ->
+            slot.conn <- Some c;
+            slot.respawns_used <- slot.respawns_used + 1;
+            t.s_respawns <- t.s_respawns + 1;
+            Metrics.incr "transport.respawns";
+            List.iter (install_shard slot) (shards_owned t slot.wid);
+            true
+        | exception _ -> false)
+      else false
+    in
+    if not restored then begin
+      (* Reroute: hand the dead slot's shards to any live worker. *)
+      match
+        Array.to_list t.slots |> List.find_opt (fun s -> s.conn <> None)
+      with
+      | Some adopter ->
+          List.iter
+            (fun sr ->
+              sr.owner <- adopter.wid;
+              t.s_reroutes <- t.s_reroutes + 1;
+              Metrics.incr "transport.reroutes";
+              install_shard adopter sr)
+            (shards_owned t slot.wid)
+      | None ->
+          degrade t
+            (Printf.sprintf
+               "worker %d unrecoverable and no live worker left to adopt \
+                its shard"
+               slot.wid)
+    end;
+    let dt = Unix.gettimeofday () -. t0 in
+    t.s_recovery <- t.s_recovery +. dt;
+    Metrics.observe "transport.recovery_ms" (1000.0 *. dt)
+  end
+
+(* One status poll with an absolute deadline. [`Status shards] on success. *)
+let poll_status slot ~timeout =
+  if not (send_ctl slot (Wire.encode Wire.Status_req)) then `Dead
+  else
+    match slot.conn with
+    | None -> `Dead
+    | Some c -> (
+        let deadline = Unix.gettimeofday () +. timeout in
+        let rec read () =
+          match Wire.read_frame ~deadline c.fd with
+          | Error Wire.Timeout -> `Timeout
+          | Error Wire.Eof -> `Dead
+          | Error (Wire.Bad_frame _) -> read ()
+          | Ok payload -> (
+              match Wire.decode payload with
+              | Ok (Wire.Status { shards }) -> `Status shards
+              | Ok _ | Error _ -> read ())
+        in
+        read ())
+
+(* Retransmit the pending tail above [applied] (go-back-N), oldest first. *)
+let retransmit t sr ~applied =
+  sr.pending <- List.filter (fun (seq, _) -> seq > applied) sr.pending;
+  let slot = t.slots.(sr.owner) in
+  List.iter
+    (fun (_, payload) ->
+      t.s_wire_retries <- t.s_wire_retries + 1;
+      Metrics.incr "transport.wire_retries";
+      ignore (send_book ~inject:false t slot payload))
+    (List.rev sr.pending)
+
+(* Bring one shard's worker in sync with the mirror: bounded status polls
+   with exponential backoff, retransmission on gaps, respawn-or-reroute on
+   death or digest mismatch. [budget] bounds recovery rounds so a worker
+   that dies faster than we can respawn it ends in degradation, not a
+   loop. *)
+let rec sync_shard ?(budget = 2) t sr =
+  if t.degraded = None then begin
+    let slot = t.slots.(sr.owner) in
+    if slot.conn = None then begin
+      recover_slot t slot;
+      if budget > 0 then sync_shard ~budget:(budget - 1) t sr
+      else degrade t "sync: worker kept dying during recovery"
+    end
+    else begin
+      let ok = ref false and attempt = ref 0 in
+      (* [max_attempts] bounds consecutive polls WITHOUT progress; a status
+         reply showing [applied] advancing resets the budget, so a lossy
+         wire that is healing through retransmission is never mistaken for
+         a dead worker (progress is bounded by the mirror, so this still
+         terminates). *)
+      let last_applied = ref (-1) in
+      while (not !ok) && !attempt < t.config.max_attempts && t.degraded = None
+      do
+        let timeout =
+          t.config.status_timeout *. Float.of_int (1 lsl !attempt)
+        in
+        incr attempt;
+        match poll_status t.slots.(sr.owner) ~timeout with
+        | `Dead ->
+            mark_dead t.slots.(sr.owner);
+            attempt := t.config.max_attempts (* leave the loop; recover below *)
+        | `Timeout -> ()
+        | `Status shards -> (
+            match
+              List.find_opt (fun (id, _, _) -> id = sr.mirror.Shard.id) shards
+            with
+            | None ->
+                (* Shard not installed (lost Install): restore it. *)
+                install_shard t.slots.(sr.owner) sr;
+                ok := true
+            | Some (_, applied, digest) ->
+                if
+                  applied = sr.mirror.Shard.applied
+                  && digest = sr.mirror.Shard.digest
+                then begin
+                  sr.pending <- [];
+                  sr.since_sync <- 0;
+                  t.s_syncs <- t.s_syncs + 1;
+                  ok := true
+                end
+                else if applied < sr.mirror.Shard.applied then begin
+                  if applied > !last_applied then begin
+                    last_applied := applied;
+                    attempt := 0
+                  end;
+                  retransmit t sr ~applied
+                end
+                else begin
+                  (* applied ran ahead of the mirror or the digest diverged:
+                     integrity failure — restore from the checkpoint. *)
+                  mark_dead t.slots.(sr.owner);
+                  attempt := t.config.max_attempts
+                end)
+      done;
+      if (not !ok) && t.degraded = None then begin
+        recover_slot t t.slots.(sr.owner);
+        if budget > 0 then sync_shard ~budget:(budget - 1) t sr
+        else degrade t "sync: status polls exhausted after recovery"
+      end
+    end
+  end
+
+let sync t =
+  if t.degraded = None && not t.shut then
+    Trace.with_span "transport.sync" (fun () ->
+        Array.iter (fun sr -> sync_shard t sr) t.shards)
+
+let emit t (book : Wire.book) =
+  if t.degraded = None && not t.shut then begin
+    t.s_books <- t.s_books + 1;
+    Array.iter
+      (fun sr ->
+        let m = sr.mirror in
+        let slice a =
+          if Array.length a = 0 then [||]
+          else Array.sub a m.Shard.lo (Shard.width m)
+        in
+        let b = { book with Wire.sent = slice book.sent; recv = slice book.recv } in
+        let seq = m.Shard.applied + 1 in
+        (match Shard.apply m ~seq b with
+        | Shard.Applied -> ()
+        | Shard.Gap -> assert false);
+        let payload = Wire.encode (Wire.Book { shard = m.Shard.id; seq; book = b }) in
+        sr.pending <- (seq, payload) :: sr.pending;
+        ignore (send_book t t.slots.(sr.owner) payload);
+        sr.since_sync <- sr.since_sync + 1;
+        if sr.since_sync >= t.config.sync_every then sync_shard t sr)
+      t.shards
+  end
+
+let crash_machines t ms =
+  if t.degraded = None && not t.shut then
+    List.iter
+      (fun m ->
+        if m >= 0 && m < t.n_machines then begin
+          let sr =
+            Array.to_list t.shards
+            |> List.find (fun sr ->
+                   sr.mirror.Shard.lo <= m && m < sr.mirror.Shard.hi)
+          in
+          let slot = t.slots.(sr.owner) in
+          match slot.conn with
+          | Some c ->
+              (* The real crash-stop: SIGKILL the owning worker mid-round,
+                 then run the respawn-or-reroute recovery path. *)
+              t.s_kills <- t.s_kills + 1;
+              Metrics.incr "transport.kills";
+              (try Unix.kill c.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              recover_slot t slot
+          | None -> ()
+        end)
+      ms
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Array.iter
+      (fun slot ->
+        match slot.conn with
+        | None -> ()
+        | Some c ->
+            (try Wire.write_frame c.fd (Wire.encode Wire.Shutdown)
+             with Unix.Unix_error _ | Sys_error _ -> ());
+            close_conn c;
+            (* Shutdown (or the EOF from our close) ends the worker loop;
+               give it a moment, then force the issue. *)
+            let rec wait tries =
+              match Unix.waitpid [ Unix.WNOHANG ] c.pid with
+              | 0, _ ->
+                  if tries > 0 then begin
+                    ignore (Unix.select [] [] [] 0.02);
+                    wait (tries - 1)
+                  end
+                  else begin
+                    (try Unix.kill c.pid Sys.sigkill
+                     with Unix.Unix_error _ -> ());
+                    reap c.pid
+                  end
+              | _ -> ()
+              | exception Unix.Unix_error _ -> ()
+            in
+            wait 50;
+            slot.conn <- None)
+      t.slots
+  end
+
+let check_prob name p =
+  if p < 0.0 || p >= 1.0 then
+    invalid_arg (Printf.sprintf "Supervisor.create: %s must be in [0, 1)" name)
+
+let create ?(config = default_config) ~machines () =
+  if machines < 1 then invalid_arg "Supervisor.create: machines < 1";
+  if config.workers < 1 then invalid_arg "Supervisor.create: workers < 1";
+  if config.max_attempts < 1 then
+    invalid_arg "Supervisor.create: max_attempts < 1";
+  if config.max_respawns < 0 then
+    invalid_arg "Supervisor.create: max_respawns < 0";
+  if config.sync_every < 1 then invalid_arg "Supervisor.create: sync_every < 1";
+  check_prob "wire_drop_prob" config.wire_drop_prob;
+  check_prob "wire_corrupt_prob" config.wire_corrupt_prob;
+  (* A SIGKILLed worker turns parent writes into EPIPE; we want the error,
+     not the signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let workers = min config.workers machines in
+  let t =
+    {
+      n_machines = machines;
+      config = { config with workers };
+      exe = Sys.executable_name;
+      slots = Array.init workers (fun wid -> { wid; conn = None; respawns_used = 0 });
+      shards =
+        Array.init workers (fun i ->
+            let lo = i * machines / workers
+            and hi = (i + 1) * machines / workers in
+            {
+              mirror = Shard.create ~id:i ~lo ~hi;
+              owner = i;
+              pending = [];
+              since_sync = 0;
+            });
+      wire_prng =
+        (if config.wire_drop_prob > 0.0 || config.wire_corrupt_prob > 0.0 then
+           (* Decorrelated from the model fault stream: the wire layer may
+              never consume (nor influence) model randomness. *)
+           Some (Prng.create ~seed:(config.wire_seed lxor 0x3157))
+         else None);
+      s_books = 0;
+      s_kills = 0;
+      s_respawns = 0;
+      s_reroutes = 0;
+      s_wire_drops = 0;
+      s_wire_corrupts = 0;
+      s_wire_retries = 0;
+      s_syncs = 0;
+      s_recovery = 0.0;
+      degraded = None;
+      shut = false;
+    }
+  in
+  Array.iter
+    (fun slot ->
+      match spawn t slot.wid with
+      | c -> slot.conn <- Some c
+      | exception _ -> ())
+    t.slots;
+  if workers_alive t = 0 then
+    degrade t "could not spawn any worker process"
+  else
+    Array.iter
+      (fun sr ->
+        let slot = t.slots.(sr.owner) in
+        if slot.conn = None then begin
+          (* The intended owner failed to spawn: adopt at creation time. *)
+          match
+            Array.to_list t.slots |> List.find_opt (fun s -> s.conn <> None)
+          with
+          | Some adopter ->
+              sr.owner <- adopter.wid;
+              t.s_reroutes <- t.s_reroutes + 1;
+              install_shard adopter sr
+          | None -> ()
+        end
+        else install_shard slot sr)
+      t.shards;
+  t

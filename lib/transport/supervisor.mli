@@ -1,0 +1,118 @@
+(** Supervision layer of the multi-process transport.
+
+    The supervisor shards the clique's [machines] into contiguous blocks,
+    spawns one OS worker process per block (the current executable re-exec'd
+    under {!Worker.argv_marker}, connected by a Unix-domain socket pair), and
+    mirrors every booked {!Wire.book} to the shard owners. It keeps an
+    authoritative {!Shard.t} mirror per shard; workers are periodically
+    cross-checked against it by status polls (the heartbeat), and the
+    protocol heals real failures:
+
+    - {b lost / corrupted frames} (including the wire-level fault injector's
+      deliberate drops): the worker's sequence check leaves a gap, the next
+      status poll reveals [applied < mirror], and the pending tail is
+      retransmitted — go-back-N with bounded, exponentially backed-off
+      status timeouts;
+    - {b crashed workers} (SIGKILLed by {!crash_machines} per the fault
+      schedule, or dead by any other cause — detected via EOF, [EPIPE],
+      timeout exhaustion, or a digest mismatch): the worker is respawned and
+      restored from the mirror checkpoint, up to [max_respawns] times;
+    - {b unrespawnable workers}: their shards are {e rerouted} — adopted by
+      another live worker via an [Install] of the checkpoint;
+    - {b no live workers left}: the supervisor {e degrades} to in-process
+      operation (the mirror was authoritative all along, so the run
+      continues unperturbed), reported as {!health} [Degraded] — the
+      transport-level analogue of the sampler's degrade-to-[Sequential]
+      policy.
+
+    None of this touches the model: rounds, ledger, and recorder digests are
+    booked by the caller ({!Cc_clique.Net}) before the mirror ever sees a
+    book, and the supervisor draws its wire-fault randomness from a private
+    seeded stream — so same seeds give the same ledger and chain digest on
+    both transports, which is the contract the cross-transport CI diff
+    enforces. *)
+
+type config = {
+  workers : int;  (** worker processes to shard the machines across. *)
+  status_timeout : float;  (** first status-poll timeout, seconds. *)
+  max_attempts : int;
+      (** status polls per sync (timeout doubling each attempt) before the
+          worker is declared dead. *)
+  max_respawns : int;  (** respawn budget per worker slot before reroute. *)
+  sync_every : int;  (** books per shard between forced syncs. *)
+  wire_drop_prob : float;
+      (** probability a [Book] frame is really not written — exercises
+          retransmission end to end. In [0, 1). *)
+  wire_corrupt_prob : float;
+      (** probability a [Book] frame is written with flipped payload bytes —
+          the checksum catches it at the worker. In [0, 1). *)
+  wire_seed : int;  (** seed of the private wire-fault stream. *)
+}
+
+val default_config : config
+
+type health =
+  | All_healthy  (** no fault touched the transport. *)
+  | Recovered of { respawns : int; reroutes : int; wire_retries : int }
+      (** failures occurred and were fully healed; every shard digest
+          matches the mirror. *)
+  | Degraded of { reason : string }
+      (** no live worker remains; the run continued on the in-process
+          mirror. *)
+
+val pp_health : Format.formatter -> health -> unit
+
+(** Monotone counters over the supervisor's lifetime. *)
+type snapshot = {
+  books : int;  (** primitives mirrored to the workers. *)
+  kills : int;  (** SIGKILLs delivered by {!crash_machines}. *)
+  respawns : int;
+  reroutes : int;  (** shards adopted by another worker. *)
+  wire_drops : int;  (** frames deliberately lost by the injector. *)
+  wire_corrupts : int;
+  wire_retries : int;  (** frames retransmitted after a status poll. *)
+  syncs : int;  (** successful shard syncs (digest verified). *)
+  recovery_s : float;  (** total wall-clock seconds spent recovering. *)
+}
+
+type t
+
+(** [create ?config ~machines ()] spawns the workers and installs empty
+    shards. A failed spawn degrades rather than raising.
+    @raise Invalid_argument if [machines < 1] or a config field is out of
+    range. *)
+val create : ?config:config -> machines:int -> unit -> t
+
+val machines : t -> int
+
+(** [workers_alive t] is the number of worker processes currently live. *)
+val workers_alive : t -> int
+
+(** [pids t] is the live worker PIDs (for tests that kill out-of-band). *)
+val pids : t -> int list
+
+(** [emit t book] mirrors one booked primitive ([book.sent]/[book.recv] are
+    the full per-machine vectors; the supervisor slices per shard). Never
+    raises and never blocks beyond a bounded sync. No-op when degraded. *)
+val emit : t -> Wire.book -> unit
+
+(** [crash_machines t ms] fires the fault schedule for machines [ms]: each
+    owning worker is SIGKILLed mid-round — a real crash-stop — and then
+    recovered (respawn-or-reroute). No-op when degraded. *)
+val crash_machines : t -> int list -> unit
+
+(** [sync t] brings every worker up to date and cross-checks every shard
+    digest against the mirror, healing as needed. Call at phase boundaries
+    and at end of run, before reading {!health}. *)
+val sync : t -> unit
+
+val health : t -> health
+val snapshot : t -> snapshot
+
+(** [owner_of t m] is the worker slot currently serving machine [m]'s shard
+    (per-process attribution for the load profile). *)
+val owner_of : t -> int -> int
+
+(** [shutdown t] asks live workers to exit, then reaps them (SIGKILL after
+    a grace period). Idempotent. *)
+val shutdown : t -> unit

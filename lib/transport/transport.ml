@@ -1,0 +1,65 @@
+type kind = Inproc | Mpproc
+
+let kind_name = function Inproc -> "inproc" | Mpproc -> "mpproc"
+
+let kind_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "inproc" -> Ok Inproc
+  | "mpproc" -> Ok Mpproc
+  | "" -> Error "transport must not be empty (expected 'inproc' or 'mpproc')"
+  | other ->
+      Error
+        (Printf.sprintf "unknown transport '%s' (expected 'inproc' or 'mpproc')"
+           other)
+
+let env_var = "CC_TRANSPORT"
+
+let kind_from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> Ok None
+  | Some s -> (
+      match kind_of_string s with
+      | Ok k -> Ok (Some k)
+      | Error e -> Error (Printf.sprintf "%s: %s" env_var e))
+
+type t = {
+  name : string;
+  emit : Wire.book -> unit;
+  crash : int list -> unit;
+  sync : unit -> unit;
+  health : unit -> Supervisor.health;
+  snapshot : unit -> Supervisor.snapshot option;
+  owner_of : int -> int option;
+  shutdown : unit -> unit;
+}
+
+let inproc () =
+  {
+    name = kind_name Inproc;
+    emit = (fun _ -> ());
+    crash = (fun _ -> ());
+    sync = (fun () -> ());
+    health = (fun () -> Supervisor.All_healthy);
+    snapshot = (fun () -> None);
+    owner_of = (fun _ -> None);
+    shutdown = (fun () -> ());
+  }
+
+let mpproc ?config ~machines () =
+  let sup = Supervisor.create ?config ~machines () in
+  {
+    name = kind_name Mpproc;
+    emit = Supervisor.emit sup;
+    crash = Supervisor.crash_machines sup;
+    sync = (fun () -> Supervisor.sync sup);
+    health = (fun () -> Supervisor.health sup);
+    snapshot = (fun () -> Some (Supervisor.snapshot sup));
+    owner_of = (fun m -> Some (Supervisor.owner_of sup m));
+    shutdown = (fun () -> Supervisor.shutdown sup);
+  }
+
+let is_mpproc t = String.equal t.name (kind_name Mpproc)
+
+let pp_health = Supervisor.pp_health
+
+let health_summary h = Format.asprintf "%a" Supervisor.pp_health h

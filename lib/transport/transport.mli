@@ -1,0 +1,67 @@
+(** Pluggable execution transport behind {!Cc_clique.Net}.
+
+    A transport receives a copy of every booked communication primitive and
+    may distribute the metering plane across OS processes; it never carries
+    model state, so the ledger and the recorder chain digest are identical
+    on every transport by construction — the cross-transport determinism
+    contract CI enforces with [ccreplay diff].
+
+    Two implementations:
+
+    - {!inproc} — the classic single-process simulator. Every operation is
+      a no-op; semantics, ledger and digests are byte-for-byte those of the
+      pre-transport code.
+    - {!mpproc} — machines sharded across worker processes under a
+      {!Supervisor}, with real fault injection (SIGKILL, dropped and
+      corrupted frames), heartbeats, bounded-backoff retries, and
+      respawn-or-reroute recovery; degrades to in-process operation when
+      unrecoverable. *)
+
+type kind = Inproc | Mpproc
+
+val kind_name : kind -> string
+
+(** [kind_of_string s] parses a user-supplied transport name
+    (case-insensitive, surrounding whitespace ignored). Empty and unknown
+    values are errors carrying a one-line message. *)
+val kind_of_string : string -> (kind, string) result
+
+(** Environment variable consulted when no [--transport] flag is given. *)
+val env_var : string
+
+(** [kind_from_env ()] reads {!env_var}: [Ok None] when unset, [Error _] on
+    an empty or unknown value (set-but-empty is an error, not "unset"). *)
+val kind_from_env : unit -> (kind option, string) result
+
+(** A transport instance, as a record of closures so {!Cc_clique.Net} does
+    not depend on this library's internals. *)
+type t = {
+  name : string;
+  emit : Wire.book -> unit;
+      (** mirror one booked primitive (full per-machine vectors). *)
+  crash : int list -> unit;
+      (** fault schedule fired for these machines: SIGKILL their workers. *)
+  sync : unit -> unit;  (** barrier: heal and digest-check every shard. *)
+  health : unit -> Supervisor.health;
+  snapshot : unit -> Supervisor.snapshot option;
+      (** [None] on {!inproc} (it has no counters). *)
+  owner_of : int -> int option;
+      (** worker slot serving a machine's shard; [None] on {!inproc}. *)
+  shutdown : unit -> unit;  (** idempotent. *)
+}
+
+(** The in-process transport: every operation a no-op, [health] always
+    [All_healthy]. *)
+val inproc : unit -> t
+
+(** [mpproc ?config ~machines ()] spawns a supervised worker pool. A total
+    spawn failure yields a transport whose [health] is [Degraded] — the run
+    proceeds in-process — rather than raising. *)
+val mpproc : ?config:Supervisor.config -> machines:int -> unit -> t
+
+val is_mpproc : t -> bool
+
+val pp_health : Format.formatter -> Supervisor.health -> unit
+
+(** [health_summary h] is a one-line form for CLI "# transport:" trailers. *)
+val health_summary : Supervisor.health -> string

@@ -1,0 +1,343 @@
+module Json = Cc_obs.Json
+
+type book = {
+  kind : string;
+  label : string;
+  rounds : float;
+  messages : int;
+  words : int;
+  max_load : int;
+  sent : int array;
+  recv : int array;
+}
+
+type shard_state = {
+  shard : int;
+  lo : int;
+  hi : int;
+  applied : int;
+  digest : int64;
+  sent : int array;
+  recv : int array;
+}
+
+type msg =
+  | Hello of { worker : int }
+  | Install of shard_state
+  | Book of { shard : int; seq : int; book : book }
+  | Status_req
+  | Status of { shards : (int * int * int64) list }
+  | Shutdown
+
+(* --- digest --- *)
+
+let fnv_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64 h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let csv a =
+  String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let book_line ~shard ~seq b =
+  Printf.sprintf "%d|%d|%s|%s|%.17g|%d|%d|%d|s:%s|r:%s" shard seq b.kind
+    b.label b.rounds b.messages b.words b.max_load (csv b.sent) (csv b.recv)
+
+(* --- JSON codec --- *)
+
+let ints a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let json_of_book b =
+  Json.Obj
+    [
+      ("kind", Json.String b.kind);
+      ("label", Json.String b.label);
+      (* Hex float: the JSON float printer is %.12g, which is lossy for the
+         fractional rounds analytic charges book — and the digest folds the
+         exact bits, so the wire must round-trip them exactly. *)
+      ("rounds", Json.String (Printf.sprintf "%h" b.rounds));
+      ("messages", Json.Int b.messages);
+      ("words", Json.Int b.words);
+      ("max_load", Json.Int b.max_load);
+      ("sent", ints b.sent);
+      ("recv", ints b.recv);
+    ]
+
+let json_of_state s =
+  Json.Obj
+    [
+      ("t", Json.String "install");
+      ("shard", Json.Int s.shard);
+      ("lo", Json.Int s.lo);
+      ("hi", Json.Int s.hi);
+      ("applied", Json.Int s.applied);
+      ("digest", Json.String (Printf.sprintf "%016Lx" s.digest));
+      ("sent", ints s.sent);
+      ("recv", ints s.recv);
+    ]
+
+let encode = function
+  | Hello { worker } ->
+      Json.to_string
+        (Json.Obj [ ("t", Json.String "hello"); ("worker", Json.Int worker) ])
+  | Install s -> Json.to_string (json_of_state s)
+  | Book { shard; seq; book } ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("t", Json.String "book");
+             ("shard", Json.Int shard);
+             ("seq", Json.Int seq);
+             ("book", json_of_book book);
+           ])
+  | Status_req -> Json.to_string (Json.Obj [ ("t", Json.String "status?") ])
+  | Status { shards } ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("t", Json.String "status");
+             ( "shards",
+               Json.List
+                 (List.map
+                    (fun (id, applied, digest) ->
+                      Json.Obj
+                        [
+                          ("shard", Json.Int id);
+                          ("applied", Json.Int applied);
+                          ( "digest",
+                            Json.String (Printf.sprintf "%016Lx" digest) );
+                        ])
+                    shards) );
+           ])
+  | Shutdown -> Json.to_string (Json.Obj [ ("t", Json.String "shutdown") ])
+
+(* Shape-checked field accessors: a decode error names the missing field. *)
+let field name v =
+  match Json.member name v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let int_field name v =
+  let* x = field name v in
+  match x with
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "field %S: expected int" name)
+
+let str_field name v =
+  let* x = field name v in
+  match Json.to_string_opt x with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: expected string" name)
+
+let float_field name v =
+  let* x = field name v in
+  match x with
+  | Json.String s -> (
+      match float_of_string_opt s with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S: bad float %S" name s))
+  | _ -> (
+      match Json.to_float_opt x with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S: expected number" name))
+
+let ints_field name v =
+  let* x = field name v in
+  match Json.to_list_opt x with
+  | None -> Error (Printf.sprintf "field %S: expected list" name)
+  | Some l ->
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | Json.Int i :: rest -> go (i :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S: expected int list" name)
+      in
+      go [] l
+
+let digest_field name v =
+  let* s = str_field name v in
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some d -> Ok d
+  | None -> Error (Printf.sprintf "field %S: bad digest %S" name s)
+
+let book_of_json v =
+  let* kind = str_field "kind" v in
+  let* label = str_field "label" v in
+  let* rounds = float_field "rounds" v in
+  let* messages = int_field "messages" v in
+  let* words = int_field "words" v in
+  let* max_load = int_field "max_load" v in
+  let* sent = ints_field "sent" v in
+  let* recv = ints_field "recv" v in
+  Ok { kind; label; rounds; messages; words; max_load; sent; recv }
+
+let state_of_json v =
+  let* shard = int_field "shard" v in
+  let* lo = int_field "lo" v in
+  let* hi = int_field "hi" v in
+  let* applied = int_field "applied" v in
+  let* digest = digest_field "digest" v in
+  let* sent = ints_field "sent" v in
+  let* recv = ints_field "recv" v in
+  Ok { shard; lo; hi; applied; digest; sent; recv }
+
+let decode s =
+  let* v = Json.of_string s in
+  let* tag = str_field "t" v in
+  match tag with
+  | "hello" ->
+      let* worker = int_field "worker" v in
+      Ok (Hello { worker })
+  | "install" ->
+      let* st = state_of_json v in
+      Ok (Install st)
+  | "book" ->
+      let* shard = int_field "shard" v in
+      let* seq = int_field "seq" v in
+      let* bv = field "book" v in
+      let* book = book_of_json bv in
+      Ok (Book { shard; seq; book })
+  | "status?" -> Ok Status_req
+  | "status" ->
+      let* x = field "shards" v in
+      let* l =
+        match Json.to_list_opt x with
+        | Some l -> Ok l
+        | None -> Error "field \"shards\": expected list"
+      in
+      let rec go acc = function
+        | [] -> Ok (Status { shards = List.rev acc })
+        | sv :: rest ->
+            let* id = int_field "shard" sv in
+            let* applied = int_field "applied" sv in
+            let* digest = digest_field "digest" sv in
+            go ((id, applied, digest) :: acc) rest
+      in
+      go [] l
+  | "shutdown" -> Ok Shutdown
+  | t -> Error (Printf.sprintf "unknown message tag %S" t)
+
+(* --- framing --- *)
+
+type read_error = Timeout | Eof | Bad_frame of string
+
+let magic = "CCW1"
+
+let be32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let be64 buf (n : int64) =
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical n (8 * i)) 0xffL)))
+  done
+
+let frame_bytes ?(corrupt = false) payload =
+  let buf = Buffer.create (String.length payload + 16) in
+  Buffer.add_string buf magic;
+  be32 buf (String.length payload);
+  let payload =
+    if not corrupt then payload
+    else begin
+      (* Flip one byte mid-payload, after the checksum below was computed on
+         the original: the frame arrives complete but fails verification. *)
+      let b = Bytes.of_string payload in
+      let i = Bytes.length b / 2 in
+      if Bytes.length b > 0 then
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+      Bytes.to_string b
+    end
+  in
+  Buffer.add_string buf payload;
+  buf
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let write_frame fd payload =
+  let buf = frame_bytes payload in
+  be64 buf (fnv64 fnv_basis payload);
+  write_all fd (Buffer.contents buf)
+
+let write_frame_corrupted fd payload =
+  let check = fnv64 fnv_basis payload in
+  let buf = frame_bytes ~corrupt:true payload in
+  be64 buf check;
+  write_all fd (Buffer.contents buf)
+
+(* Read exactly [len] bytes into a fresh string, honoring the deadline via
+   select before every read. *)
+let read_exact ?deadline fd len =
+  let b = Bytes.create len in
+  let off = ref 0 in
+  let result = ref (Ok ()) in
+  (try
+     while !off < len && !result = Ok () do
+       (match deadline with
+       | None -> ()
+       | Some d ->
+           let remaining = d -. Unix.gettimeofday () in
+           if remaining <= 0.0 then begin
+             result := Error Timeout;
+             raise Exit
+           end
+           else begin
+             let r, _, _ = Unix.select [ fd ] [] [] remaining in
+             if r = [] then begin
+               result := Error Timeout;
+               raise Exit
+             end
+           end);
+       match Unix.read fd b !off (len - !off) with
+       | 0 ->
+           result := Error Eof;
+           raise Exit
+       | k -> off := !off + k
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+           result := Error Eof;
+           raise Exit
+     done
+   with Exit -> ());
+  match !result with Ok () -> Ok (Bytes.to_string b) | Error e -> Error e
+
+let ( let* ) = Result.bind
+
+let read_frame ?deadline fd =
+  let* hdr = read_exact ?deadline fd 8 in
+  if String.sub hdr 0 4 <> magic then Error (Bad_frame "bad magic")
+  else begin
+    let len =
+      (Char.code hdr.[4] lsl 24)
+      lor (Char.code hdr.[5] lsl 16)
+      lor (Char.code hdr.[6] lsl 8)
+      lor Char.code hdr.[7]
+    in
+    if len < 0 || len > 1 lsl 26 then Error (Bad_frame "absurd frame length")
+    else
+      let* payload = read_exact ?deadline fd len in
+      let* check = read_exact ?deadline fd 8 in
+      let expect = ref 0L in
+      String.iter
+        (fun c ->
+          expect := Int64.logor (Int64.shift_left !expect 8)
+              (Int64.of_int (Char.code c)))
+        check;
+      if fnv64 fnv_basis payload <> !expect then
+        Error (Bad_frame "checksum mismatch")
+      else Ok payload
+  end

@@ -1,0 +1,105 @@
+(** Wire protocol of the multi-process ([Mpproc]) transport.
+
+    The supervisor (parent) and its shard workers (child processes) speak a
+    framed message protocol over a Unix-domain socket pair. A frame is
+
+    {v
+      "CCW1"  magic            (4 bytes)
+      length  big-endian       (4 bytes, payload bytes)
+      payload one JSON message (length bytes)
+      check   big-endian       (8 bytes, FNV-1a 64 of the payload)
+    v}
+
+    so a receiver can always resynchronize after a payload-level corruption
+    (the length was read before the bad bytes) and detect it by checksum —
+    the property the wire-level fault injector relies on: it only ever
+    flips payload bytes, never the header, turning an injected corruption
+    into a detectable, retransmittable loss instead of a protocol desync.
+
+    Messages are JSON objects (via {!Cc_obs.Json}) tagged by a ["t"] field.
+    The parent drives the conversation: workers only write in response to
+    [Status_req] (and never initiate), which keeps the protocol deadlock-free
+    with blocking writes on both sides. *)
+
+(** One booked {!Cc_clique.Net} primitive as shipped to a shard: the scalar
+    ledger fields plus {e this shard's slice} of the per-machine word
+    vectors. Empty arrays mean an all-zero slice (analytic charges). *)
+type book = {
+  kind : string;  (** ["exchange"], ["broadcast"], ... — {!Cc_clique.Net.kind_name}. *)
+  label : string;
+  rounds : float;
+  messages : int;
+  words : int;
+  max_load : int;
+  sent : int array;
+  recv : int array;
+}
+
+(** Serializable shard state: the checkpoint a worker is (re)started from
+    and the snapshot the parent keeps as its authoritative mirror. *)
+type shard_state = {
+  shard : int;  (** shard id. *)
+  lo : int;  (** first machine of the shard. *)
+  hi : int;  (** one past the last machine. *)
+  applied : int;  (** books applied so far. *)
+  digest : int64;  (** running FNV-1a fold over the applied books. *)
+  sent : int array;  (** per-machine words sent, length [hi - lo]. *)
+  recv : int array;
+}
+
+type msg =
+  | Hello of { worker : int }  (** parent -> worker: identity, sent once. *)
+  | Install of shard_state
+      (** parent -> worker: create, restore (respawn) or adopt (reroute) a
+          shard from a checkpoint. Replaces any existing state for the id. *)
+  | Book of { shard : int; seq : int; book : book }
+      (** parent -> worker: apply book [seq] to [shard]. A worker only
+          applies [seq = applied + 1]; anything else is a gap (a lost or
+          corrupted predecessor) and is ignored — go-back-N retransmission
+          is the parent's job, triggered by the next status poll. *)
+  | Status_req  (** parent -> worker: report all shards. *)
+  | Status of { shards : (int * int * int64) list }
+      (** worker -> parent: [(shard, applied, digest)] per shard, ascending
+          by shard id — the ack/heartbeat the supervisor syncs against. *)
+  | Shutdown  (** parent -> worker: exit cleanly. *)
+
+val encode : msg -> string
+val decode : string -> (msg, string) result
+
+(** {1 Framing} *)
+
+type read_error =
+  | Timeout  (** deadline passed with the frame incomplete. *)
+  | Eof  (** peer closed (a SIGKILLed worker surfaces here). *)
+  | Bad_frame of string
+      (** checksum mismatch or malformed header; the stream is resynced past
+          the bad payload when the header was intact. *)
+
+(** [write_frame fd payload] writes one complete frame (loops on short
+    writes). Raises [Unix.Unix_error] — e.g. [EPIPE] on a dead peer; the
+    caller treats that as a crashed worker. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [write_frame_corrupted fd payload] writes a frame whose payload bytes
+    were flipped {e after} the checksum was computed — the wire-level fault
+    injector's "real corruption": the receiver reads a full frame, fails the
+    checksum, and must recover through retransmission. *)
+val write_frame_corrupted : Unix.file_descr -> string -> unit
+
+(** [read_frame ?deadline fd] reads one frame, blocking until [deadline]
+    (absolute [Unix.gettimeofday] time; omitted = block forever). *)
+val read_frame : ?deadline:float -> Unix.file_descr -> (string, read_error) result
+
+(** {1 Digest}
+
+    The shard digest is an FNV-1a 64-bit fold over the canonical line of
+    every applied book — computed identically by the worker and by the
+    parent's mirror, so equal digests prove the distributed metering agreed
+    byte for byte. *)
+
+val fnv_basis : int64
+val fnv64 : int64 -> string -> int64
+
+(** [book_line ~shard ~seq book] is the canonical serialization folded into
+    the shard digest. *)
+val book_line : shard:int -> seq:int -> book -> string

@@ -1,0 +1,46 @@
+let argv_marker = "__cc-transport-worker"
+
+let serve ~input ~output =
+  let shards : (int, Shard.t) Hashtbl.t = Hashtbl.create 4 in
+  let running = ref true in
+  while !running do
+    match Wire.read_frame input with
+    | Error Wire.Eof -> running := false
+    | Error Wire.Timeout -> running := false (* no deadline set: unreachable *)
+    | Error (Wire.Bad_frame _) ->
+        (* A corrupted payload: the frame was consumed (length-prefixed), so
+           the stream is still in sync. Drop it — the parent's go-back-N
+           retransmission repairs the sequence gap it leaves behind. *)
+        ()
+    | Ok payload -> (
+        match Wire.decode payload with
+        | Error _ -> () (* undecodable payload: same story as a bad frame *)
+        | Ok (Wire.Hello _) -> ()
+        | Ok (Wire.Install st) ->
+            Hashtbl.replace shards st.Wire.shard (Shard.of_state st)
+        | Ok (Wire.Book { shard; seq; book }) -> (
+            match Hashtbl.find_opt shards shard with
+            | Some s -> ignore (Shard.apply s ~seq book)
+            | None -> () (* not installed yet: parent will resync *))
+        | Ok Wire.Status_req ->
+            let report =
+              Hashtbl.fold
+                (fun id (s : Shard.t) acc -> (id, s.applied, s.digest) :: acc)
+                shards []
+              |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+            in
+            Wire.write_frame output (Wire.encode (Wire.Status { shards = report }))
+        | Ok (Wire.Status _) -> () (* parent-bound only *)
+        | Ok Wire.Shutdown -> running := false)
+  done
+
+let maybe_run_as_worker () =
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = argv_marker then begin
+    (* The parent may die while we block on read; EPIPE/EOF both end the
+       loop, so no special signal handling is needed beyond ignoring
+       SIGPIPE for the status writes. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    (try serve ~input:Unix.stdin ~output:Unix.stdout
+     with Unix.Unix_error _ -> ());
+    exit 0
+  end

@@ -1,0 +1,26 @@
+(** Shard worker process: the child side of the multi-process transport.
+
+    A worker is the same executable as its parent, re-exec'd with
+    {!argv_marker} as its first argument; its stdin/stdout are the two ends
+    of the supervisor's socket pair. It owns a set of {!Shard.t}s (installed
+    and re-installed by the parent), applies [Book] messages in sequence,
+    and answers [Status_req] with its per-shard [(applied, digest)] pairs.
+    It never initiates a write, so the protocol cannot deadlock.
+
+    Malformed or checksum-failing frames are skipped (the parent's
+    retransmission heals the resulting gap); EOF or [Shutdown] ends the
+    process. *)
+
+(** [serve ~input ~output] runs the message loop until EOF or [Shutdown].
+    Returns normally on a clean shutdown. *)
+val serve : input:Unix.file_descr -> output:Unix.file_descr -> unit
+
+(** The reserved [argv.(1)] marker under which every transport-capable
+    binary re-execs itself as a worker. *)
+val argv_marker : string
+
+(** [maybe_run_as_worker ()] must be the first statement of [main] in every
+    binary that can create an [Mpproc] transport (it is the worker
+    entrypoint): when [argv.(1)] is {!argv_marker} it serves on
+    stdin/stdout and exits, never returning; otherwise it is a no-op. *)
+val maybe_run_as_worker : unit -> unit

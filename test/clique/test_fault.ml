@@ -128,6 +128,37 @@ let test_next_live () =
   for m = 0 to 4 do Fault.crash_now f m done;
   Alcotest.(check (option int)) "all dead" None (Fault.next_live f ~n:5 0)
 
+(* The documented contract: with every machine of [0, n) crashed, next_live
+   is None for *every* start index — in range, negative, or past n — and
+   out-of-range machines in the crash set must not fool the early exit. *)
+let test_next_live_all_crashed_all_starts () =
+  let n = 5 in
+  let f = Fault.create (Fault.spec ()) in
+  for m = 0 to n - 1 do
+    Fault.crash_now f m
+  done;
+  for from = -2 * n to 2 * n do
+    Alcotest.(check (option int))
+      (Printf.sprintf "all crashed, from=%d" from)
+      None
+      (Fault.next_live f ~n from)
+  done;
+  (* Crashing a machine outside [0, n) must not change the verdict at a
+     smaller n where the rest are live. *)
+  let g = Fault.create (Fault.spec ()) in
+  Fault.crash_now g 7;
+  (* out of range for n=4 *)
+  Fault.crash_now g 1;
+  for from = -4 to 8 do
+    Alcotest.(check bool)
+      (Printf.sprintf "survivors remain, from=%d" from)
+      true
+      (Fault.next_live g ~n:4 from <> None)
+  done;
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Fault.next_live: n must be positive") (fun () ->
+      ignore (Fault.next_live f ~n:0 0))
+
 (* --- corruption and stragglers --- *)
 
 let test_corrupt_word_flips_one_bit () =
@@ -248,6 +279,8 @@ let () =
           Alcotest.test_case "scheduled crash" `Quick test_scheduled_crash_fires_at_round_boundary;
           Alcotest.test_case "crashed broadcast source" `Quick test_reliable_broadcast_crashed_source;
           Alcotest.test_case "next_live" `Quick test_next_live;
+          Alcotest.test_case "next_live all crashed, any start" `Quick
+            test_next_live_all_crashed_all_starts;
         ] );
       ( "corruption",
         [

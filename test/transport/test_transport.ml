@@ -1,0 +1,523 @@
+(* Unit and process-level tests of the multi-process transport: wire framing
+   and codec, shard state machine, the worker protocol (over a real fork),
+   supervision (real SIGKILLs, wire-level fault injection, degradation), and
+   the cross-transport determinism contract at the Net level. *)
+
+module Wire = Cc_transport.Wire
+module Shard = Cc_transport.Shard
+module Worker = Cc_transport.Worker
+module Supervisor = Cc_transport.Supervisor
+module Transport = Cc_transport.Transport
+module Net = Cc_clique.Net
+module Fault = Cc_clique.Fault
+
+let book ?(sent = [||]) ?(recv = [||]) ?(rounds = 1.0) ?(label = "x") () =
+  {
+    Wire.kind = "exchange";
+    label;
+    rounds;
+    messages = 3;
+    words = 12;
+    max_load = 7;
+    sent;
+    recv;
+  }
+
+let check_book msg (a : Wire.book) (b : Wire.book) =
+  Alcotest.(check string) (msg ^ " kind") a.kind b.kind;
+  Alcotest.(check string) (msg ^ " label") a.label b.label;
+  Alcotest.(check bool)
+    (msg ^ " rounds bit-exact") true
+    (Int64.equal (Int64.bits_of_float a.rounds) (Int64.bits_of_float b.rounds));
+  Alcotest.(check int) (msg ^ " messages") a.messages b.messages;
+  Alcotest.(check int) (msg ^ " words") a.words b.words;
+  Alcotest.(check int) (msg ^ " max_load") a.max_load b.max_load;
+  Alcotest.(check (array int)) (msg ^ " sent") a.sent b.sent;
+  Alcotest.(check (array int)) (msg ^ " recv") a.recv b.recv
+
+(* --- wire codec --- *)
+
+let roundtrip m =
+  match Wire.decode (Wire.encode m) with
+  | Ok m' -> m'
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_codec_roundtrip () =
+  (match roundtrip (Wire.Hello { worker = 3 }) with
+  | Wire.Hello { worker } -> Alcotest.(check int) "worker" 3 worker
+  | _ -> Alcotest.fail "wrong variant");
+  (* A fractional round count that needs all 17 significant digits: the wire
+     must round-trip the exact bits (the digest folds them). *)
+  let b =
+    book ~rounds:(1.0 /. 3.0) ~sent:[| 1; 0; 5 |] ~recv:[| 0; 2; 0 |] ()
+  in
+  (match roundtrip (Wire.Book { shard = 1; seq = 42; book = b }) with
+  | Wire.Book { shard; seq; book = b' } ->
+      Alcotest.(check int) "shard" 1 shard;
+      Alcotest.(check int) "seq" 42 seq;
+      check_book "book" b b'
+  | _ -> Alcotest.fail "wrong variant");
+  (* Empty slices (analytic charges) stay empty. *)
+  (match roundtrip (Wire.Book { shard = 0; seq = 1; book = book () }) with
+  | Wire.Book { book = b'; _ } ->
+      Alcotest.(check int) "empty sent" 0 (Array.length b'.sent)
+  | _ -> Alcotest.fail "wrong variant");
+  let st =
+    {
+      Wire.shard = 2;
+      lo = 4;
+      hi = 8;
+      applied = 17;
+      digest = 0xdeadbeef01234567L;
+      sent = [| 1; 2; 3; 4 |];
+      recv = [| 4; 3; 2; 1 |];
+    }
+  in
+  (match roundtrip (Wire.Install st) with
+  | Wire.Install st' ->
+      Alcotest.(check int) "applied" st.applied st'.Wire.applied;
+      Alcotest.(check bool) "digest" true (Int64.equal st.digest st'.Wire.digest);
+      Alcotest.(check (array int)) "sent" st.sent st'.Wire.sent
+  | _ -> Alcotest.fail "wrong variant");
+  (match roundtrip (Wire.Status { shards = [ (0, 5, 123L); (1, 9, -1L) ] }) with
+  | Wire.Status { shards } ->
+      Alcotest.(check int) "shards" 2 (List.length shards);
+      Alcotest.(check bool) "negative digest survives" true
+        (List.exists (fun (_, _, d) -> Int64.equal d (-1L)) shards)
+  | _ -> Alcotest.fail "wrong variant");
+  (match roundtrip Wire.Status_req with
+  | Wire.Status_req -> ()
+  | _ -> Alcotest.fail "wrong variant");
+  match roundtrip Wire.Shutdown with
+  | Wire.Shutdown -> ()
+  | _ -> Alcotest.fail "wrong variant"
+
+let test_decode_rejects_garbage () =
+  Alcotest.(check bool) "not json" true (Result.is_error (Wire.decode "np"));
+  Alcotest.(check bool)
+    "unknown tag" true
+    (Result.is_error (Wire.decode "{\"t\":\"gremlin\"}"));
+  Alcotest.(check bool)
+    "missing field" true
+    (Result.is_error (Wire.decode "{\"t\":\"hello\"}"))
+
+(* --- framing over a real socket pair --- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      Wire.write_frame a "hello frame";
+      Wire.write_frame a "";
+      (match Wire.read_frame b with
+      | Ok p -> Alcotest.(check string) "payload" "hello frame" p
+      | Error _ -> Alcotest.fail "read failed");
+      match Wire.read_frame b with
+      | Ok p -> Alcotest.(check string) "empty payload" "" p
+      | Error _ -> Alcotest.fail "empty read failed")
+
+let test_corrupted_frame_detected_and_resynced () =
+  with_socketpair (fun a b ->
+      Wire.write_frame_corrupted a "the bytes arrive flipped";
+      Wire.write_frame a "clean follower";
+      (match Wire.read_frame b with
+      | Error (Wire.Bad_frame _) -> ()
+      | Ok _ -> Alcotest.fail "corruption not detected"
+      | Error _ -> Alcotest.fail "wrong error");
+      (* The length prefix was intact, so the stream resyncs on its own. *)
+      match Wire.read_frame b with
+      | Ok p -> Alcotest.(check string) "resynced" "clean follower" p
+      | Error _ -> Alcotest.fail "stream lost sync")
+
+let test_read_timeout_and_eof () =
+  with_socketpair (fun a b ->
+      (match Wire.read_frame ~deadline:(Unix.gettimeofday () +. 0.05) b with
+      | Error Wire.Timeout -> ()
+      | _ -> Alcotest.fail "expected timeout");
+      Unix.close a;
+      match Wire.read_frame b with
+      | Error Wire.Eof -> ()
+      | _ -> Alcotest.fail "expected eof")
+
+(* --- shard state machine --- *)
+
+let test_shard_apply_and_gap () =
+  let s = Shard.create ~id:0 ~lo:2 ~hi:5 in
+  let d0 = s.Shard.digest in
+  (match Shard.apply s ~seq:1 (book ~sent:[| 1; 2; 3 |] ~recv:[| 0; 0; 9 |] ())
+   with
+  | Shard.Applied -> ()
+  | Shard.Gap -> Alcotest.fail "seq 1 must apply");
+  Alcotest.(check int) "applied" 1 s.Shard.applied;
+  Alcotest.(check (array int)) "sent" [| 1; 2; 3 |] s.Shard.sent;
+  Alcotest.(check bool) "digest moved" false (Int64.equal d0 s.Shard.digest);
+  (* A gap (lost predecessor) is ignored: counters and digest untouched. *)
+  let d1 = s.Shard.digest in
+  (match Shard.apply s ~seq:3 (book ()) with
+  | Shard.Gap -> ()
+  | Shard.Applied -> Alcotest.fail "seq 3 must be a gap");
+  Alcotest.(check int) "applied unchanged" 1 s.Shard.applied;
+  Alcotest.(check bool) "digest unchanged" true (Int64.equal d1 s.Shard.digest);
+  (* Replays (seq <= applied) are gaps too. *)
+  match Shard.apply s ~seq:1 (book ()) with
+  | Shard.Gap -> ()
+  | Shard.Applied -> Alcotest.fail "replay must be ignored"
+
+let test_shard_digest_is_order_sensitive () =
+  let seq_digest books =
+    let s = Shard.create ~id:0 ~lo:0 ~hi:2 in
+    List.iteri
+      (fun i b -> ignore (Shard.apply s ~seq:(i + 1) b))
+      books;
+    s.Shard.digest
+  in
+  let a = book ~label:"a" () and b = book ~label:"b" () in
+  Alcotest.(check bool)
+    "same books, same digest" true
+    (Int64.equal (seq_digest [ a; b ]) (seq_digest [ a; b ]));
+  Alcotest.(check bool)
+    "order matters" false
+    (Int64.equal (seq_digest [ a; b ]) (seq_digest [ b; a ]))
+
+let test_shard_state_roundtrip () =
+  let s = Shard.create ~id:3 ~lo:1 ~hi:4 in
+  ignore (Shard.apply s ~seq:1 (book ~sent:[| 7; 8; 9 |] ()));
+  ignore (Shard.apply s ~seq:2 (book ~rounds:2.5 ()));
+  let s' = Shard.of_state (Shard.to_state s) in
+  Alcotest.(check int) "applied" s.Shard.applied s'.Shard.applied;
+  Alcotest.(check bool)
+    "digest" true
+    (Int64.equal s.Shard.digest s'.Shard.digest);
+  Alcotest.(check (array int)) "sent" s.Shard.sent s'.Shard.sent;
+  (* A restored shard continues the same digest chain. *)
+  let b3 = book ~label:"post-restore" () in
+  ignore (Shard.apply s ~seq:3 b3);
+  ignore (Shard.apply s' ~seq:3 b3);
+  Alcotest.(check bool)
+    "chain continues" true
+    (Int64.equal s.Shard.digest s'.Shard.digest)
+
+(* --- worker protocol, over a real fork --- *)
+
+let expect_status fd =
+  match Wire.read_frame ~deadline:(Unix.gettimeofday () +. 5.0) fd with
+  | Ok p -> (
+      match Wire.decode p with
+      | Ok (Wire.Status { shards }) -> shards
+      | _ -> Alcotest.fail "expected a status reply")
+  | Error _ -> Alcotest.fail "no status reply"
+
+let test_worker_protocol () =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close parent_fd;
+      (try Worker.serve ~input:child_fd ~output:child_fd
+       with _ -> ());
+      Stdlib.exit 0
+  | pid ->
+      Unix.close child_fd;
+      let send m = Wire.write_frame parent_fd (Wire.encode m) in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close parent_fd with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid))
+        (fun () ->
+          let mirror = Shard.create ~id:0 ~lo:0 ~hi:3 in
+          send (Wire.Hello { worker = 0 });
+          send (Wire.Install (Shard.to_state mirror));
+          let b1 = book ~sent:[| 1; 2; 3 |] ~recv:[| 3; 2; 1 |] () in
+          let b2 = book ~label:"second" ~rounds:(4.0 /. 7.0) () in
+          let b3 = book ~label:"third" () in
+          ignore (Shard.apply mirror ~seq:1 b1);
+          send (Wire.Book { shard = 0; seq = 1; book = b1 });
+          (* Simulate a lost frame: skip seq 2, send seq 3. The worker must
+             ignore the gap... *)
+          send (Wire.Book { shard = 0; seq = 3; book = b3 });
+          send Wire.Status_req;
+          (match expect_status parent_fd with
+          | [ (0, applied, digest) ] ->
+              Alcotest.(check int) "gap ignored" 1 applied;
+              Alcotest.(check bool)
+                "digest matches mirror" true
+                (Int64.equal digest mirror.Shard.digest)
+          | _ -> Alcotest.fail "unexpected status shape");
+          (* ...and catch up when the parent retransmits in order. *)
+          ignore (Shard.apply mirror ~seq:2 b2);
+          ignore (Shard.apply mirror ~seq:3 b3);
+          send (Wire.Book { shard = 0; seq = 2; book = b2 });
+          send (Wire.Book { shard = 0; seq = 3; book = b3 });
+          (* A corrupted frame in the middle must be skipped, not desync. *)
+          Wire.write_frame_corrupted parent_fd
+            (Wire.encode (Wire.Book { shard = 0; seq = 4; book = b1 }));
+          send Wire.Status_req;
+          (match expect_status parent_fd with
+          | [ (0, applied, digest) ] ->
+              Alcotest.(check int) "caught up" 3 applied;
+              Alcotest.(check bool)
+                "digests agree" true
+                (Int64.equal digest mirror.Shard.digest)
+          | _ -> Alcotest.fail "unexpected status shape");
+          send Wire.Shutdown)
+
+(* --- supervisor --- *)
+
+let quick_config =
+  { Supervisor.default_config with status_timeout = 1.0; sync_every = 64 }
+
+let emit_books sup k =
+  for i = 1 to k do
+    let n = Supervisor.machines sup in
+    let sent = Array.init n (fun j -> (i + j) mod 5) in
+    let recv = Array.init n (fun j -> (i * j) mod 3) in
+    Supervisor.emit sup (book ~sent ~recv ~label:(Printf.sprintf "l%d" (i mod 4)) ())
+  done
+
+let test_supervisor_happy_path () =
+  let sup = Supervisor.create ~config:quick_config ~machines:10 () in
+  Alcotest.(check int) "workers" 4 (Supervisor.workers_alive sup);
+  emit_books sup 25;
+  Supervisor.sync sup;
+  (match Supervisor.health sup with
+  | Supervisor.All_healthy -> ()
+  | h -> Alcotest.failf "expected healthy, got %a" Supervisor.pp_health h);
+  let s = Supervisor.snapshot sup in
+  Alcotest.(check int) "books" 25 s.Supervisor.books;
+  Alcotest.(check bool) "synced" true (s.Supervisor.syncs > 0);
+  (* every machine maps to some live worker slot *)
+  for m = 0 to 9 do
+    ignore (Supervisor.owner_of sup m)
+  done;
+  Supervisor.shutdown sup;
+  Supervisor.shutdown sup;
+  (* idempotent *)
+  Alcotest.(check int) "all reaped" 0 (Supervisor.workers_alive sup)
+
+let test_supervisor_survives_sigkill () =
+  let sup = Supervisor.create ~config:quick_config ~machines:8 () in
+  emit_books sup 10;
+  (* A real crash-stop, out of band: SIGKILL one worker directly. *)
+  (match Supervisor.pids sup with
+  | pid :: _ -> Unix.kill pid Sys.sigkill
+  | [] -> Alcotest.fail "no workers");
+  emit_books sup 10;
+  Supervisor.sync sup;
+  (match Supervisor.health sup with
+  | Supervisor.Recovered r ->
+      Alcotest.(check bool) "respawned" true (r.respawns >= 1)
+  | h -> Alcotest.failf "expected recovered, got %a" Supervisor.pp_health h);
+  Alcotest.(check int) "pool restored" 4 (Supervisor.workers_alive sup);
+  Supervisor.shutdown sup
+
+let test_supervisor_crash_machines () =
+  let sup = Supervisor.create ~config:quick_config ~machines:8 () in
+  emit_books sup 5;
+  Supervisor.crash_machines sup [ 3 ];
+  emit_books sup 5;
+  Supervisor.sync sup;
+  (match Supervisor.health sup with
+  | Supervisor.Recovered _ -> ()
+  | h -> Alcotest.failf "expected recovered, got %a" Supervisor.pp_health h);
+  let s = Supervisor.snapshot sup in
+  Alcotest.(check int) "one kill" 1 s.Supervisor.kills;
+  Alcotest.(check bool) "recovery timed" true (s.Supervisor.recovery_s >= 0.0);
+  Supervisor.shutdown sup
+
+let test_supervisor_heals_wire_faults () =
+  let config =
+    {
+      quick_config with
+      Supervisor.wire_drop_prob = 0.3;
+      wire_corrupt_prob = 0.15;
+      wire_seed = 5;
+      sync_every = 8;
+    }
+  in
+  let sup = Supervisor.create ~config ~machines:6 () in
+  emit_books sup 60;
+  Supervisor.sync sup;
+  let s = Supervisor.snapshot sup in
+  Alcotest.(check bool) "frames dropped" true (s.Supervisor.wire_drops > 0);
+  Alcotest.(check bool)
+    "frames corrupted" true
+    (s.Supervisor.wire_corrupts > 0);
+  Alcotest.(check bool)
+    "losses retransmitted" true
+    (s.Supervisor.wire_retries > 0);
+  (* Retransmission healed everything: digests agreed at the final sync, so
+     health is Recovered (not Degraded, and nothing was respawned). *)
+  (match Supervisor.health sup with
+  | Supervisor.Recovered r ->
+      Alcotest.(check int) "no respawns needed" 0 r.respawns
+  | h -> Alcotest.failf "expected recovered, got %a" Supervisor.pp_health h);
+  Supervisor.shutdown sup
+
+let test_supervisor_degrades_when_unrecoverable () =
+  let config =
+    { quick_config with Supervisor.workers = 1; max_respawns = 0 }
+  in
+  let sup = Supervisor.create ~config ~machines:4 () in
+  emit_books sup 3;
+  (* The only worker dies and the respawn budget is zero: no reroute target
+     exists, so the supervisor must degrade — and the run must continue. *)
+  Supervisor.crash_machines sup [ 0 ];
+  (match Supervisor.health sup with
+  | Supervisor.Degraded _ -> ()
+  | h -> Alcotest.failf "expected degraded, got %a" Supervisor.pp_health h);
+  emit_books sup 3;
+  (* emit after degrade is a safe no-op *)
+  Supervisor.sync sup;
+  Alcotest.(check int) "no workers" 0 (Supervisor.workers_alive sup);
+  Supervisor.shutdown sup
+
+(* --- Net-level cross-transport determinism --- *)
+
+let run_workload ?faults net =
+  let n = Net.n net in
+  ignore faults;
+  for i = 0 to 19 do
+    Net.exchange net ~label:"shuffle"
+      [
+        { Net.src = i mod n; dst = (i + 1) mod n; words = 3 + i };
+        { Net.src = (i + 2) mod n; dst = i mod n; words = 2 };
+      ];
+    if i mod 3 = 0 then Net.broadcast net ~label:"seed" ~src:(i mod n) ~words:5;
+    (* An analytic charge with fractional rounds: exercises the lossless
+       float path end to end. *)
+    Net.charge net ~label:"matmul" (Float.of_int (i + 1) /. 7.0)
+  done
+
+let record_run transport ~faulty =
+  let n = 9 in
+  let net = Net.create ~n in
+  let net =
+    if faulty then
+      Net.with_faults
+        (Fault.create (Fault.spec ~drop_prob:0.2 ~crashes:[ (4, 10.0) ] ~seed:3 ()))
+        net
+    else net
+  in
+  let r = Cc_obs.Recorder.create ~machines:n () in
+  ignore (Net.attach_recorder net r);
+  let tr =
+    match transport with
+    | `Inproc -> None
+    | `Mpproc ->
+        let tr = Transport.mpproc ~machines:n () in
+        Net.set_transport net tr;
+        Some tr
+  in
+  (if faulty then
+     for i = 0 to 19 do
+       ignore
+         (Net.reliable_exchange net ~label:"rx"
+            [ { Net.src = i mod n; dst = (i + 3) mod n; words = 4 } ])
+     done
+   else run_workload net);
+  let health =
+    Option.map
+      (fun tr ->
+        tr.Transport.sync ();
+        let h = tr.Transport.health () in
+        tr.Transport.shutdown ();
+        h)
+      tr
+  in
+  ( Cc_obs.Recorder.digest_hex r,
+    Net.ledger net,
+    Net.rounds net,
+    health )
+
+let test_cross_transport_determinism () =
+  let d_in, l_in, r_in, _ = record_run `Inproc ~faulty:false in
+  let d_mp, l_mp, r_mp, health = record_run `Mpproc ~faulty:false in
+  Alcotest.(check string) "chain digest" d_in d_mp;
+  Alcotest.(check bool) "ledger" true (l_in = l_mp);
+  Alcotest.(check (float 0.0)) "rounds" r_in r_mp;
+  match health with
+  | Some Supervisor.All_healthy -> ()
+  | Some h -> Alcotest.failf "expected healthy, got %a" Supervisor.pp_health h
+  | None -> Alcotest.fail "no transport health"
+
+let test_cross_transport_determinism_with_faults () =
+  (* Same seeds, faults included — and the model's crash schedule SIGKILLs
+     the machine's worker on the Mpproc side, whose recovery must not
+     perturb the ledger. *)
+  let d_in, l_in, r_in, _ = record_run `Inproc ~faulty:true in
+  let d_mp, l_mp, r_mp, health = record_run `Mpproc ~faulty:true in
+  Alcotest.(check string) "chain digest" d_in d_mp;
+  Alcotest.(check bool) "ledger" true (l_in = l_mp);
+  Alcotest.(check (float 0.0)) "rounds" r_in r_mp;
+  match health with
+  | Some (Supervisor.Recovered r) ->
+      Alcotest.(check bool) "worker was killed and healed" true
+        (r.respawns + r.reroutes >= 1)
+  | Some h ->
+      Alcotest.failf "expected recovered, got %a" Supervisor.pp_health h
+  | None -> Alcotest.fail "no transport health"
+
+let test_transport_kind_parsing () =
+  Alcotest.(check bool)
+    "inproc" true
+    (Transport.kind_of_string " Inproc " = Ok Transport.Inproc);
+  Alcotest.(check bool)
+    "mpproc" true
+    (Transport.kind_of_string "MPPROC" = Ok Transport.Mpproc);
+  Alcotest.(check bool)
+    "empty rejected" true
+    (Result.is_error (Transport.kind_of_string "   "));
+  Alcotest.(check bool)
+    "unknown rejected" true
+    (Result.is_error (Transport.kind_of_string "tcp"))
+
+let () =
+  (* Worker entrypoint first: the supervisor re-execs this binary. *)
+  Worker.maybe_run_as_worker ();
+  Alcotest.run "cc_transport"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_decode_rejects_garbage;
+          Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "corruption detected + resync" `Quick
+            test_corrupted_frame_detected_and_resynced;
+          Alcotest.test_case "timeout and eof" `Quick test_read_timeout_and_eof;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "apply and gap" `Quick test_shard_apply_and_gap;
+          Alcotest.test_case "digest order-sensitive" `Quick
+            test_shard_digest_is_order_sensitive;
+          Alcotest.test_case "state roundtrip" `Quick test_shard_state_roundtrip;
+        ] );
+      ( "worker",
+        [ Alcotest.test_case "protocol over fork" `Quick test_worker_protocol ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "happy path" `Quick test_supervisor_happy_path;
+          Alcotest.test_case "survives SIGKILL" `Quick
+            test_supervisor_survives_sigkill;
+          Alcotest.test_case "crash_machines" `Quick
+            test_supervisor_crash_machines;
+          Alcotest.test_case "heals wire faults" `Quick
+            test_supervisor_heals_wire_faults;
+          Alcotest.test_case "degrades when unrecoverable" `Quick
+            test_supervisor_degrades_when_unrecoverable;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "kind parsing" `Quick test_transport_kind_parsing;
+          Alcotest.test_case "cross-transport digests" `Quick
+            test_cross_transport_determinism;
+          Alcotest.test_case "cross-transport with faults" `Quick
+            test_cross_transport_determinism_with_faults;
+        ] );
+    ]
