@@ -800,10 +800,13 @@ let f3 () =
            n tau)
       ~columns:
         [ "mode"; "rounds"; "wall (s)"; "respawns"; "reroutes"; "retries";
-          "recovery (ms)"; "health" ]
+          "recovery (ms)"; "events"; "worker.*"; "health" ]
   in
   List.iter
     (fun (mode_name, mode) ->
+      (* Isolate the merged worker.<shard>.* namespace per mode (the
+         registry is process-global; nothing else reads it back). *)
+      Cc_obs.Metrics.reset ();
       let g = Gen.cycle n in
       let prng = Prng.create ~seed:13 in
       let net = Net.create ~n in
@@ -849,6 +852,19 @@ let f3 () =
         }
       in
       let s = Option.value ~default:zero snap in
+      (* Journal length after shutdown includes the worker_stop records;
+         the merged-metric count shows the telemetry plane end to end. *)
+      let journal_events =
+        match tr.Transport.journal () with
+        | Some j -> Cc_obs.Journal.length j
+        | None -> 0
+      in
+      let worker_merged =
+        List.length
+          (List.filter
+             (fun (name, _) -> String.starts_with ~prefix:"worker." name)
+             (Cc_obs.Metrics.snapshot ()))
+      in
       Report.record ~id:"F3"
         ~params:[ ("n", Report.int n); ("mode", Report.str mode_name) ]
         ~extra:
@@ -864,6 +880,8 @@ let f3 () =
             ("wire_retries", Report.int s.Supervisor.wire_retries);
             ("syncs", Report.int s.Supervisor.syncs);
             ("recovery_s", Report.flt s.Supervisor.recovery_s);
+            ("journal_events", Report.int journal_events);
+            ("worker_metrics", Report.int worker_merged);
           ]
         wall;
       Table.add_row table
@@ -875,6 +893,8 @@ let f3 () =
           Table.cell_int s.Supervisor.reroutes;
           Table.cell_int s.Supervisor.wire_retries;
           Table.cell_float ~decimals:1 (1000.0 *. s.Supervisor.recovery_s);
+          Table.cell_int journal_events;
+          Table.cell_int worker_merged;
           Transport.health_summary health;
         ])
     [

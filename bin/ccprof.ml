@@ -1,17 +1,26 @@
 (* ccprof — offline analyzer for the observability artifacts the repo's
    tools write:
 
-     summary FILE          per-experiment table of a cc-bench/* JSON run
+     summary FILE          per-experiment table of a cc-bench/* JSON run,
+                           or the instrument table of a metrics JSON dump
+                           (cctree --metrics-json FILE)
      diff BASELINE NEW     regression gate on measured/bound ratios
      heatmap FILE          render a profile JSONL (cctree --profile FILE)
      trace FILE            top spans/events of a trace JSONL
+     events FILE           render a supervision-event journal JSONL
+                           (cctree/ccreplay --health-log FILE)
+     watch SOCK            live terminal view of a running mpproc
+                           supervisor (cctree --stats-sock SOCK)
 
-   Exit codes: 0 ok; 1 diff found a regression (unless --warn-only);
-   2 unreadable or malformed input. *)
+   Exit codes: 0 ok; 1 diff found a regression (unless --warn-only) or
+   events --assert-clean saw a recovery event; 2 unreadable or malformed
+   input. *)
 
 module Json = Cc_obs.Json
 module Benchdata = Cc_obs.Benchdata
 module Profile = Cc_obs.Profile
+module Metrics = Cc_obs.Metrics
+module Journal = Cc_obs.Journal
 module Table = Cc_util.Table
 open Cmdliner
 
@@ -84,13 +93,86 @@ let summary_doc path doc =
     (List.length aggs)
     (List.length doc.Benchdata.records)
 
+(* A metrics dump (cctree --metrics-json) is a JSON object keyed by
+   instrument name whose every value parses as a Metrics.value; anything
+   else falls through to the cc-bench reader. *)
+let metrics_of_json = function
+  | Json.Obj ((_ :: _) as kvs) ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | (k, v) :: rest -> (
+            match Metrics.value_of_json v with
+            | Ok mv -> go ((k, mv) :: acc) rest
+            | Error _ -> None)
+      in
+      go [] kvs
+  | _ -> None
+
+let summary_metrics path instruments =
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s — metrics registry" path)
+      ~columns:
+        [ "instrument"; "kind"; "count"; "value/mean"; "min"; "max"; "p50";
+          "p95"; "p99" ]
+  in
+  List.iter
+    (fun (name, v) ->
+      let row =
+        match v with
+        | Metrics.Counter n ->
+            [ name; "counter"; "-"; string_of_int n; "-"; "-"; "-"; "-"; "-" ]
+        | Metrics.Gauge x ->
+            [ name; "gauge"; "-"; Printf.sprintf "%.3f" x; "-"; "-"; "-";
+              "-"; "-" ]
+        | Metrics.Histogram h ->
+            let mean =
+              if h.Metrics.count > 0 then
+                h.Metrics.sum /. float_of_int h.Metrics.count
+              else Float.nan
+            in
+            [ name; "histogram";
+              Table.cell_int h.Metrics.count;
+              Printf.sprintf "%.3f" mean;
+              Printf.sprintf "%.3f" h.Metrics.min;
+              Printf.sprintf "%.3f" h.Metrics.max;
+              Printf.sprintf "%.3f" h.Metrics.p50;
+              Printf.sprintf "%.3f" h.Metrics.p95;
+              Printf.sprintf "%.3f" h.Metrics.p99;
+            ]
+      in
+      Table.add_row table row)
+    instruments;
+  Table.print table;
+  let workers =
+    List.length
+      (List.filter
+         (fun (name, _) -> String.starts_with ~prefix:"worker." name)
+         instruments)
+  in
+  Printf.printf "%d instrument(s), %d under the merged worker.* namespace\n"
+    (List.length instruments)
+    workers
+
 let summary_cmd =
   let file_t =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
   in
-  let run file = summary_doc file (load_doc file) in
+  let run file =
+    let sniffed =
+      match Json.of_string (read_file file) with
+      | Ok j -> metrics_of_json j
+      | Error _ -> None
+    in
+    match sniffed with
+    | Some instruments -> summary_metrics file instruments
+    | None -> summary_doc file (load_doc file)
+  in
   let info =
-    Cmd.info "summary" ~doc:"Summarize one cc-bench/* JSON run per experiment."
+    Cmd.info "summary"
+      ~doc:
+        "Summarize one cc-bench/* JSON run per experiment, or render the \
+         instrument table of a metrics JSON dump (cctree --metrics-json)."
   in
   Cmd.v info Term.(const run $ file_t)
 
@@ -266,9 +348,298 @@ let trace_cmd =
   in
   Cmd.v info Term.(const run $ file_t $ top_t)
 
+(* --- events --- *)
+
+let clean_kind k = String.equal k "worker_start" || String.equal k "worker_stop"
+
+let events_cmd =
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let assert_clean_t =
+    let doc =
+      "Exit 1 if the journal holds any event other than worker_start / \
+       worker_stop — the clean-run gate CI applies to deterministic jobs."
+    in
+    Arg.(value & flag & info [ "assert-clean" ] ~doc)
+  in
+  let run file assert_clean =
+    match Journal.of_jsonl (read_file file) with
+    | Error msg ->
+        Printf.eprintf "ccprof: %s: %s\n" file msg;
+        exit exit_bad_input
+    | Ok events ->
+        let table =
+          Table.create
+            ~title:(Printf.sprintf "%s — supervision events" file)
+            ~columns:
+              [ "seq"; "t s"; "round"; "kind"; "worker"; "shard"; "attempt";
+                "budget"; "cause" ]
+        in
+        List.iter
+          (fun (e : Journal.event) ->
+            Table.add_row table
+              [
+                Table.cell_int e.Journal.seq;
+                Printf.sprintf "%.3f" e.Journal.t_s;
+                Printf.sprintf "%.0f" e.Journal.round;
+                e.Journal.kind;
+                opt_i e.Journal.worker;
+                opt_i e.Journal.shard;
+                opt_i e.Journal.attempt;
+                opt_i e.Journal.budget;
+                e.Journal.cause;
+              ])
+          events;
+        Table.print table;
+        let recovery =
+          List.filter (fun e -> not (clean_kind e.Journal.kind)) events
+        in
+        Printf.printf "%d event(s), %d recovery event(s) — %s\n"
+          (List.length events) (List.length recovery)
+          (if recovery = [] then "clean run" else "recovery happened");
+        if assert_clean && recovery <> [] then begin
+          let e = List.hd recovery in
+          Printf.eprintf
+            "ccprof: journal not clean: seq %d is %S (worker %s, cause %S)\n"
+            e.Journal.seq e.Journal.kind (opt_i e.Journal.worker)
+            e.Journal.cause;
+          exit exit_regression
+        end
+  in
+  let info =
+    Cmd.info "events"
+      ~doc:
+        "Render a supervision-event journal (cctree/ccreplay --health-log); \
+         with --assert-clean, exit 1 unless the run needed no recovery."
+  in
+  Cmd.v info Term.(const run $ file_t $ assert_clean_t)
+
+(* --- watch --- *)
+
+let spark_levels = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+(* Render [xs] (oldest first) against the window maximum; all-zero (or
+   empty) windows render flat. *)
+let sparkline xs =
+  let hi = List.fold_left Float.max 0.0 xs in
+  String.concat ""
+    (List.map
+       (fun x ->
+         if hi <= 0.0 || x <= 0.0 then spark_levels.(0)
+         else
+           spark_levels.(min
+                           (Array.length spark_levels - 1)
+                           (int_of_float (x /. hi *. 7.99)))
+       )
+       xs)
+
+let watch_cmd =
+  let sock_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCK")
+  in
+  let once_t =
+    let doc = "Print one snapshot and exit (no screen clearing)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let interval_t =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~doc ~docv:"S")
+  in
+  let count_t =
+    let doc = "Stop after $(docv) snapshots (0 = until the endpoint goes away)." in
+    Arg.(value & opt int 0 & info [ "count" ] ~doc ~docv:"N")
+  in
+  let fetch sock =
+    match
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX sock);
+          let buf = Buffer.create 4096 in
+          let chunk = Bytes.create 4096 in
+          let rec drain () =
+            let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+            if k > 0 then begin
+              Buffer.add_subbytes buf chunk 0 k;
+              drain ()
+            end
+          in
+          drain ();
+          Buffer.contents buf)
+    with
+    | s -> Some s
+    | exception (Unix.Unix_error _ | Sys_error _) -> None
+  in
+  let jint ?(default = 0) key v =
+    match Json.member key v with
+    | Some (Json.Int i) -> i
+    | Some (Json.Float f) -> int_of_float f
+    | _ -> default
+  in
+  let jnum key v =
+    Option.bind (Json.member key v) Json.to_float_opt
+  in
+  let jstr key v =
+    Option.value ~default:""
+      (Option.bind (Json.member key v) Json.to_string_opt)
+  in
+  let jlist key v =
+    Option.value ~default:[]
+      (Option.bind (Json.member key v) Json.to_list_opt)
+  in
+  (* Per-worker rolling windows for the sparklines, newest last. *)
+  let push tbl wid x =
+    let window = 24 in
+    let xs = match Hashtbl.find_opt tbl wid with Some l -> l | None -> [] in
+    let xs = xs @ [ x ] in
+    let xs =
+      if List.length xs > window then
+        List.filteri (fun i _ -> i >= List.length xs - window) xs
+      else xs
+    in
+    Hashtbl.replace tbl wid xs;
+    xs
+  in
+  let render ~clear rtt_hist q_hist snap =
+    if clear then print_string "\027[2J\027[H";
+    Printf.printf "ccprof watch — %s | machines %d | rounds %.0f\n"
+      (jstr "health" snap) (jint "machines" snap)
+      (Option.value ~default:0.0 (jnum "rounds" snap));
+    (match Json.member "counters" snap with
+    | None -> ()
+    | Some c ->
+        Printf.printf
+          "books %d  syncs %d  kills %d  respawns %d  reroutes %d  \
+           wire drops/corrupts/retries %d/%d/%d\n"
+          (jint "books" c) (jint "syncs" c) (jint "kills" c)
+          (jint "respawns" c) (jint "reroutes" c) (jint "wire_drops" c)
+          (jint "wire_corrupts" c) (jint "wire_retries" c));
+    (* queue depth per worker = pending frames summed over owned shards *)
+    let queue_of = Hashtbl.create 8 in
+    List.iter
+      (fun sh ->
+        let owner = jint "owner" sh in
+        let pending = jint "pending" sh in
+        Hashtbl.replace queue_of owner
+          (pending
+          + Option.value ~default:0 (Hashtbl.find_opt queue_of owner)))
+      (jlist "shards" snap);
+    let table =
+      Table.create ~title:"workers"
+        ~columns:
+          [ "wid"; "alive"; "pid"; "respawns"; "rtt ms"; "rtt"; "queue";
+            "shards" ]
+    in
+    List.iter
+      (fun w ->
+        let wid = jint "wid" w in
+        let rtt = jnum "rtt_ms" w in
+        let rtts =
+          match rtt with
+          | Some x when Float.is_finite x -> push rtt_hist wid x
+          | _ -> Option.value ~default:[] (Hashtbl.find_opt rtt_hist wid)
+        in
+        let q =
+          float_of_int
+            (Option.value ~default:0 (Hashtbl.find_opt queue_of wid))
+        in
+        let qs = push q_hist wid q in
+        let alive =
+          match Json.member "alive" w with
+          | Some (Json.Bool b) -> b
+          | _ -> false
+        in
+        Table.add_row table
+          [
+            Table.cell_int wid;
+            (if alive then "up" else "DOWN");
+            (match Json.member "pid" w with
+            | Some (Json.Int p) -> string_of_int p
+            | _ -> "-");
+            Table.cell_int (jint "respawns_used" w);
+            (match rtt with
+            | Some x when Float.is_finite x -> Printf.sprintf "%.2f" x
+            | _ -> "-");
+            sparkline rtts;
+            sparkline qs;
+            String.concat ","
+              (List.map
+                 (fun s -> match s with Json.Int i -> string_of_int i | _ -> "?")
+                 (jlist "shards" w));
+          ])
+      (jlist "workers" snap);
+    Table.print table;
+    (match jlist "events" snap with
+    | [] -> ()
+    | evs ->
+        print_endline "recent events:";
+        List.iter
+          (fun ev ->
+            match Journal.event_of_json ev with
+            | Error _ -> ()
+            | Ok e ->
+                Printf.printf "  [%d] t=%.3f round=%.0f %s%s%s\n"
+                  e.Journal.seq e.Journal.t_s e.Journal.round e.Journal.kind
+                  (match e.Journal.worker with
+                  | Some w -> Printf.sprintf " worker=%d" w
+                  | None -> "")
+                  (if e.Journal.cause = "" then ""
+                   else Printf.sprintf " (%s)" e.Journal.cause))
+          evs);
+    flush stdout
+  in
+  let run sock once interval count =
+    if interval <= 0.0 then begin
+      Printf.eprintf "ccprof: --interval must be positive\n";
+      exit exit_bad_input
+    end;
+    let rtt_hist = Hashtbl.create 8 and q_hist = Hashtbl.create 8 in
+    let budget = if once then 1 else count in
+    let seen = ref 0 in
+    let rec loop () =
+      (match fetch sock with
+      | None ->
+          if !seen = 0 then begin
+            Printf.eprintf
+              "ccprof: cannot connect to %s (is a supervisor running with \
+               --stats-sock?)\n"
+              sock;
+            exit exit_bad_input
+          end
+          else begin
+            Printf.printf "endpoint %s gone — supervisor exited\n" sock;
+            exit 0
+          end
+      | Some body -> (
+          match Json.of_string (String.trim body) with
+          | Error msg ->
+              Printf.eprintf "ccprof: %s: malformed snapshot: %s\n" sock msg;
+              exit exit_bad_input
+          | Ok snap ->
+              incr seen;
+              render ~clear:(not once && !seen > 1) rtt_hist q_hist snap));
+      if budget = 0 || !seen < budget then begin
+        Unix.sleepf interval;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let info =
+    Cmd.info "watch"
+      ~doc:
+        "Live terminal view of a running mpproc supervisor: poll the stats \
+         socket (cctree --stats-sock) for worker liveness, RTT and queue \
+         sparklines, and recent supervision events."
+  in
+  Cmd.v info Term.(const run $ sock_t $ once_t $ interval_t $ count_t)
+
 let main =
   let doc = "Analyze cc-bench runs, load profiles, and traces offline." in
   let info = Cmd.info "ccprof" ~version:"1.0.0" ~doc in
-  Cmd.group info [ summary_cmd; diff_cmd; heatmap_cmd; trace_cmd ]
+  Cmd.group info
+    [ summary_cmd; diff_cmd; heatmap_cmd; trace_cmd; events_cmd; watch_cmd ]
 
 let () = exit (Cmd.eval main)

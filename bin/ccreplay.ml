@@ -145,7 +145,25 @@ let record_cmd =
       $ Arg.(
           value & opt (some string) None & info [ "transport" ] ~doc ~docv:"T"))
   in
-  let run () algo family size seed drop_prob fault_seed out transport =
+  let no_telemetry_t =
+    let doc =
+      "Disable worker telemetry on the mpproc transport. The recorded log \
+       and its digest are bit-identical with telemetry on and off — the \
+       zero-perturbation contract CI checks with $(b,ccreplay diff)."
+    in
+    Arg.(value & flag & info [ "no-telemetry" ] ~doc)
+  in
+  let health_log_t =
+    let doc =
+      "Write the transport's supervision-event journal as JSON lines to \
+       $(docv) after the run (empty on inproc) — readable by \
+       $(b,ccprof events)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "health-log" ] ~doc ~docv:"FILE")
+  in
+  let run () algo family size seed drop_prob fault_seed out transport
+      no_telemetry health_log =
     let prng = Prng.create ~seed in
     let g =
       match Gen.family_of_string family with
@@ -171,7 +189,13 @@ let record_cmd =
       match transport with
       | Transport.Inproc -> None
       | Transport.Mpproc ->
-          let tr = Transport.mpproc ~machines:n () in
+          let config =
+            {
+              Cc_transport.Supervisor.default_config with
+              telemetry = not no_telemetry;
+            }
+          in
+          let tr = Transport.mpproc ~config ~machines:n () in
           Net.set_transport net tr;
           Some tr
     in
@@ -182,15 +206,38 @@ let record_cmd =
     | a ->
         Printf.eprintf "ccreplay: unknown workload %S\n" a;
         exit exit_bad_input);
-    (* Transport health goes to stderr: stdout (and the log itself) must be
-       byte-identical across transports. *)
+    (* Transport health and the journal trailer go to stderr: stdout (and
+       the log itself) must be byte-identical across transports. *)
     (match tr with
     | None -> ()
     | Some tr ->
         tr.Transport.sync ();
         Printf.eprintf "# transport: %s (%s)\n" tr.Transport.name
           (Transport.health_summary (tr.Transport.health ()));
-        tr.Transport.shutdown ());
+        tr.Transport.shutdown ();
+        match tr.Transport.journal () with
+        | None -> ()
+        | Some j ->
+            let module J = Cc_obs.Journal in
+            Printf.eprintf
+              "# journal: %d event(s)%s, %s\n" (J.length j)
+              (if J.dropped j > 0 then
+                 Printf.sprintf " (+%d dropped)" (J.dropped j)
+               else "")
+              (if J.is_clean j then "clean (worker start/stop only)"
+               else "recovery events present");
+            (match health_log with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (J.to_jsonl j);
+                close_out oc));
+    (match (tr, health_log) with
+    | None, Some path ->
+        (* Inproc: no supervision happens; write the file empty so scripted
+           pipelines need not special-case the transport. *)
+        close_out (open_out path)
+    | _ -> ());
     let lv = Net.ledger_violations net inv in
     let oc = open_out out in
     output_string oc (Recorder.to_jsonl recorder);
@@ -214,7 +261,7 @@ let record_cmd =
   Cmd.v info
     Term.(
       const run $ domains_t $ algo_t $ family_t $ size_t $ seed_t $ drop_t
-      $ fault_seed_t $ out_t $ transport_t)
+      $ fault_seed_t $ out_t $ transport_t $ no_telemetry_t $ health_log_t)
 
 (* --- check --- *)
 

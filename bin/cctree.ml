@@ -111,20 +111,83 @@ let transport_kind_t =
     $ Arg.(
         value & opt (some string) None & info [ "transport" ] ~doc ~docv:"T"))
 
+(* Telemetry-plane options riding along with --transport. *)
+type topts = {
+  no_telemetry : bool;
+  stats_sock : string option;
+  health_log : string option;
+}
+
+let topts_t =
+  let no_telemetry_t =
+    let doc =
+      "Disable worker telemetry on the mpproc transport (no registry/GC/span \
+       reports on Status heartbeats, no worker.<shard>.* merge). \
+       Zero-perturbation either way: ledger, rounds, and recorder digests \
+       are identical on and off."
+    in
+    Arg.(value & flag & info [ "no-telemetry" ] ~doc)
+  in
+  let stats_sock_t =
+    let doc =
+      "Serve a live JSON status snapshot (workers, shards, counters, recent \
+       supervision events) on a Unix-domain socket at $(docv) — the endpoint \
+       $(b,ccprof watch) polls. Mpproc only; an unusable path is ignored."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "stats-sock" ] ~doc ~docv:"PATH")
+  in
+  let health_log_t =
+    let doc =
+      "Write the supervision-event journal (worker start/stop, kills, \
+       heartbeat timeouts, respawns, installs, reroutes, degrades) as JSON \
+       lines to $(docv) after the run — readable by $(b,ccprof events). On \
+       inproc the file is written empty (no supervision happens)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "health-log" ] ~doc ~docv:"FILE")
+  in
+  let combine no_telemetry stats_sock health_log =
+    { no_telemetry; stats_sock; health_log }
+  in
+  Term.(const combine $ no_telemetry_t $ stats_sock_t $ health_log_t)
+
+let write_health_log topts journal =
+  match topts.health_log with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      (match journal with
+      | Some j -> output_string oc (Cc_obs.Journal.to_jsonl j)
+      | None -> ());
+      close_out oc
+
 (* Run [f] with the requested transport installed on [net]; at end of run,
    sync the workers, report health, and shut the pool down. Returns [true]
    when the transport degraded (no live workers left) — the transport-level
    Unrecoverable, mapped to the same exit code. *)
-let with_transport kind net f =
+let with_transport kind topts net f =
   match kind with
   | Transport.Inproc ->
       f ();
+      write_health_log topts None;
       false
   | Transport.Mpproc ->
-      let tr = Transport.mpproc ~machines:(Net.n net) () in
+      let config =
+        {
+          Cc_transport.Supervisor.default_config with
+          telemetry = not topts.no_telemetry;
+          stats_sock = topts.stats_sock;
+        }
+      in
+      let tr = Transport.mpproc ~config ~machines:(Net.n net) () in
       Net.set_transport net tr;
       Fun.protect
-        ~finally:(fun () -> tr.Transport.shutdown ())
+        ~finally:(fun () ->
+          tr.Transport.shutdown ();
+          (* After shutdown so the journal holds the worker_stop records
+             and the final telemetry flush has run. *)
+          write_health_log topts (tr.Transport.journal ()))
         (fun () ->
           f ();
           tr.Transport.sync ();
@@ -254,6 +317,7 @@ type obs = {
   trace_file : string option;
   trace_tree : bool;
   metrics : bool;
+  metrics_json : string option;  (* registry JSON dump path *)
   profile : string option;  (* "-" = print heatmap; otherwise JSONL path *)
   record : string option;  (* flight-recorder JSONL path *)
 }
@@ -276,8 +340,22 @@ let obs_t =
     Arg.(value & flag & info [ "trace-tree" ] ~doc)
   in
   let metrics_t =
-    let doc = "Print the metrics registry (counters/gauges/histograms)." in
+    let doc =
+      "Print the metrics registry (counters/gauges/histograms; histograms \
+       with p50/p95/p99). On the mpproc transport with telemetry on this \
+       includes the merged worker.<shard>.* namespace."
+    in
     Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let metrics_json_t =
+    let doc =
+      "Write the metrics registry as a JSON object keyed by instrument name \
+       to $(docv) — readable by $(b,ccprof summary)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~doc ~docv:"FILE")
   in
   let profile_t =
     let doc =
@@ -299,10 +377,12 @@ let obs_t =
     in
     Arg.(value & opt (some string) None & info [ "record" ] ~doc ~docv:"FILE")
   in
-  let combine trace_file trace_tree metrics profile record =
-    { trace_file; trace_tree; metrics; profile; record }
+  let combine trace_file trace_tree metrics metrics_json profile record =
+    { trace_file; trace_tree; metrics; metrics_json; profile; record }
   in
-  Term.(const combine $ trace_t $ tree_t $ metrics_t $ profile_t $ record_t)
+  Term.(
+    const combine $ trace_t $ tree_t $ metrics_t $ metrics_json_t $ profile_t
+    $ record_t)
 
 (* Run [f] with a trace collector installed when requested, then write the
    requested exports — including [net]'s load profile. Observability never
@@ -341,6 +421,13 @@ let with_obs obs net f =
         | None -> ());
         if obs.trace_tree then Format.printf "%a@?" Cc_obs.Trace.pp_tree t);
     if obs.metrics then Format.printf "%a@?" Cc_obs.Metrics.pp ();
+    (match obs.metrics_json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Cc_obs.Json.to_string (Cc_obs.Metrics.to_json ()));
+        output_char oc '\n';
+        close_out oc);
     (match recording with
     | None -> ()
     | Some (path, r, inv) ->
@@ -426,7 +513,7 @@ let sample_cmd =
     Arg.(value & opt string "cc" & info [ "method" ] ~doc)
   in
   let run () seed verbose family size file weights trials ledger alpha bits
-      method_ faults obs transport =
+      method_ faults obs transport topts =
     setup_logs verbose;
     let prng = Prng.create ~seed in
     let g = load_graph ?weights ~family ~size ~file ~prng () in
@@ -440,9 +527,11 @@ let sample_cmd =
       }
     in
     let unrecoverable = ref false in
+    (* Observability wraps the transport so the metrics dump (--metrics /
+       --metrics-json) sees the final telemetry flush merged at shutdown. *)
     let degraded =
-      with_transport transport net (fun () ->
-    with_obs obs net (fun () ->
+      with_obs obs net (fun () ->
+    with_transport transport topts net (fun () ->
     for t = 1 to trials do
       (match String.lowercase_ascii method_ with
       | "cc" ->
@@ -488,7 +577,7 @@ let sample_cmd =
     Term.(
       const run $ domains_t $ seed_t $ verbose_t $ family_t $ size_t $ file_t
       $ weights_t $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t
-      $ faults_t $ obs_t $ transport_kind_t)
+      $ faults_t $ obs_t $ transport_kind_t $ topts_t)
 
 (* --- doubling --- *)
 
@@ -496,15 +585,15 @@ let doubling_cmd =
   let tau_t =
     Arg.(value & opt int 0 & info [ "tau" ] ~doc:"Walk length (0 = sample a tree instead).")
   in
-  let run () seed family size file tau faults obs transport =
+  let run () seed family size file tau faults obs transport topts =
     let prng = Prng.create ~seed in
     let g = load_graph ~family ~size ~file ~prng () in
     let n = Graph.n g in
     let net = arm_faults faults (Net.create ~n) in
     let unrecoverable = ref false in
     let degraded =
-      with_transport transport net (fun () ->
-    with_obs obs net (fun () ->
+      with_obs obs net (fun () ->
+    with_transport transport topts net (fun () ->
     if tau > 0 then begin
       let r = Doubling.run net prng g ~tau ~scheme:(Doubling.default_scheme ~n) in
       Printf.printf "# %d iterations, %.0f rounds; walk from vertex 0:\n"
@@ -532,7 +621,7 @@ let doubling_cmd =
   Cmd.v info
     Term.(
       const run $ domains_t $ seed_t $ family_t $ size_t $ file_t $ tau_t
-      $ faults_t $ obs_t $ transport_kind_t)
+      $ faults_t $ obs_t $ transport_kind_t $ topts_t)
 
 (* --- walk --- *)
 

@@ -1,0 +1,79 @@
+(** Bounded, structured supervision-event journal.
+
+    Every health transition in the multi-process transport — worker start and
+    stop, kill detected, heartbeat timeout, respawn attempt, checkpoint
+    install, reroute, degrade — is appended here as one timestamped record
+    carrying the cause, the worker/shard involved, the recovery attempt and
+    its remaining budget, and the simulated round clock at the time. The log
+    is bounded (drop-oldest beyond [cap], with a counter of what was lost) so
+    a long-running supervisor can keep one without unbounded growth.
+
+    The journal is pure observability: recording draws no randomness and
+    never touches transport or model state, so runs with and without a
+    journal are bit-identical.
+
+    Export is JSONL, one event per line ([cctree --health-log],
+    [ccreplay record --health-log]); [ccprof events] renders and gates on
+    the same format. *)
+
+type event = {
+  seq : int;  (** global append index, monotone even across drops. *)
+  t_s : float;  (** seconds since the journal was created. *)
+  kind : string;
+      (** ["worker_start"], ["worker_stop"], ["kill"],
+          ["heartbeat_timeout"], ["respawn"], ["install"], ["reroute"],
+          ["degrade"]. *)
+  worker : int option;  (** worker slot id, when one is involved. *)
+  shard : int option;  (** shard id, when one is involved. *)
+  attempt : int option;  (** recovery attempt number (1-based). *)
+  budget : int option;  (** attempts remaining after this one. *)
+  round : float;  (** simulated round clock at record time. *)
+  cause : string;  (** free-form detail (["sigkill"], ["status timeout"]). *)
+}
+
+type t
+
+(** [create ?cap ?clock ()] builds an empty journal holding at most [cap]
+    events (default [4096]; oldest dropped first). [clock] returns seconds
+    (default [Unix.gettimeofday]; inject a counter for deterministic
+    tests). *)
+val create : ?cap:int -> ?clock:(unit -> float) -> unit -> t
+
+(** [record t ?worker ?shard ?attempt ?budget ?round ?cause kind] appends one
+    event ([round] defaults to [0.], [cause] to [""]). *)
+val record :
+  t ->
+  ?worker:int ->
+  ?shard:int ->
+  ?attempt:int ->
+  ?budget:int ->
+  ?round:float ->
+  ?cause:string ->
+  string ->
+  unit
+
+(** [events t] is the retained events, oldest first. *)
+val events : t -> event list
+
+(** [length t] is the number of retained events. *)
+val length : t -> int
+
+(** [dropped t] counts events evicted by the [cap] bound. *)
+val dropped : t -> int
+
+(** [is_clean t] is [true] when every retained event is a plain
+    ["worker_start"] / ["worker_stop"] — i.e. the run needed no recovery.
+    The clean-run CI gate hard-fails on [false]. *)
+val is_clean : t -> bool
+
+(** {1 Serialization} *)
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+
+(** [to_jsonl t] is one JSON object per line, oldest first. *)
+val to_jsonl : t -> string
+
+(** [of_jsonl s] parses a journal export back into events. The error names
+    the first offending line. *)
+val of_jsonl : string -> (event list, string) result

@@ -1,8 +1,46 @@
-type histogram = { count : int; sum : float; min : float; max : float }
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  buckets : (int * int) list;
+}
 
 type value = Counter of int | Gauge of float | Histogram of histogram
 
-let registry : (string, value) Hashtbl.t = Hashtbl.create 64
+(* Internal mutable instrument state. Counters and gauges are single mutable
+   cells; histogram scalar moments live in a flat float array (sum/min/max)
+   so [observe] never boxes a float — the hot path is field stores only. *)
+type hstate = {
+  mutable hcount : int;
+  moments : float array; (* [| sum; min; max |] *)
+  hbuckets : int array;
+}
+
+type entry =
+  | C of { mutable c : int }
+  | G of { mutable g : float }
+  | H of hstate
+
+let n_buckets = 128
+
+(* Bucket i (1 <= i <= 127) covers [2^(i-64), 2^(i-63)); bucket 0 catches
+   non-positive, non-finite-negative, and underflowing observations. The
+   index is exact arithmetic on the float exponent: deterministic, and
+   [Float.log2] stays in float registers (no allocation). *)
+let bucket_of x =
+  if x <= 0.0 || Float.is_nan x then 0
+  else if x = Float.infinity then n_buckets - 1
+  else begin
+    let e = int_of_float (Float.floor (Float.log2 x)) in
+    let i = e + 64 in
+    if i < 1 then 0 else if i > n_buckets - 1 then n_buckets - 1 else i
+  end
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
 
 let kind_error name =
   invalid_arg
@@ -11,38 +49,139 @@ let kind_error name =
 
 let incr ?(by = 1) name =
   match Hashtbl.find_opt registry name with
-  | None -> Hashtbl.replace registry name (Counter by)
-  | Some (Counter c) -> Hashtbl.replace registry name (Counter (c + by))
+  | None -> Hashtbl.replace registry name (C { c = by })
+  | Some (C r) -> r.c <- r.c + by
   | Some _ -> kind_error name
 
 let set_gauge name x =
   match Hashtbl.find_opt registry name with
-  | None | Some (Gauge _) -> Hashtbl.replace registry name (Gauge x)
+  | None -> Hashtbl.replace registry name (G { g = x })
+  | Some (G r) -> r.g <- x
   | Some _ -> kind_error name
+
+let fresh_hstate () =
+  {
+    hcount = 0;
+    moments = [| 0.0; Float.infinity; Float.neg_infinity |];
+    hbuckets = Array.make n_buckets 0;
+  }
+
+let hstate_observe st x =
+  st.hcount <- st.hcount + 1;
+  st.moments.(0) <- st.moments.(0) +. x;
+  if x < st.moments.(1) then st.moments.(1) <- x;
+  if x > st.moments.(2) then st.moments.(2) <- x;
+  let b = bucket_of x in
+  st.hbuckets.(b) <- st.hbuckets.(b) + 1
 
 let observe name x =
   match Hashtbl.find_opt registry name with
   | None ->
-      Hashtbl.replace registry name
-        (Histogram { count = 1; sum = x; min = x; max = x })
-  | Some (Histogram h) ->
-      Hashtbl.replace registry name
-        (Histogram
-           {
-             count = h.count + 1;
-             sum = h.sum +. x;
-             min = Float.min h.min x;
-             max = Float.max h.max x;
-           })
+      let st = fresh_hstate () in
+      hstate_observe st x;
+      Hashtbl.replace registry name (H st)
+  | Some (H st) -> hstate_observe st x
   | Some _ -> kind_error name
 
-let get name = Hashtbl.find_opt registry name
+(* --- percentiles and summaries --- *)
+
+let percentile_dense ~count ~min ~max dense q =
+  if count = 0 then Float.nan
+  else begin
+    let rank = int_of_float (Float.ceil (q *. Float.of_int count)) in
+    let rank = if rank < 1 then 1 else if rank > count then count else rank in
+    let idx = ref (-1) and cum = ref 0 in
+    (try
+       for i = 0 to Array.length dense - 1 do
+         cum := !cum + dense.(i);
+         if !cum >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !idx <= 0 then min
+    else
+      (* upper bound of the bucket, clamped into the observed range *)
+      let upper = Float.ldexp 1.0 (!idx - 63) in
+      Float.min max (Float.max min upper)
+  end
+
+let sparse_of_dense dense =
+  let acc = ref [] in
+  for i = Array.length dense - 1 downto 0 do
+    if dense.(i) > 0 then acc := (i, dense.(i)) :: !acc
+  done;
+  !acc
+
+let dense_of_sparse sparse =
+  let dense = Array.make n_buckets 0 in
+  List.iter
+    (fun (i, c) -> if i >= 0 && i < n_buckets then dense.(i) <- dense.(i) + c)
+    sparse;
+  dense
+
+let summary_of_dense ~count ~sum ~min ~max dense =
+  {
+    count;
+    sum;
+    min;
+    max;
+    p50 = percentile_dense ~count ~min ~max dense 0.50;
+    p95 = percentile_dense ~count ~min ~max dense 0.95;
+    p99 = percentile_dense ~count ~min ~max dense 0.99;
+    buckets = sparse_of_dense dense;
+  }
+
+let summary_of_hstate st =
+  summary_of_dense ~count:st.hcount ~sum:st.moments.(0) ~min:st.moments.(1)
+    ~max:st.moments.(2) st.hbuckets
+
+let percentile h q =
+  percentile_dense ~count:h.count ~min:h.min ~max:h.max
+    (dense_of_sparse h.buckets) q
+
+let value_of_entry = function
+  | C r -> Counter r.c
+  | G r -> Gauge r.g
+  | H st -> Histogram (summary_of_hstate st)
+
+let entry_of_value = function
+  | Counter c -> C { c }
+  | Gauge g -> G { g }
+  | Histogram h ->
+      H
+        {
+          hcount = h.count;
+          moments = [| h.sum; h.min; h.max |];
+          hbuckets = dense_of_sparse h.buckets;
+        }
+
+let get name = Option.map value_of_entry (Hashtbl.find_opt registry name)
 
 let snapshot () =
-  Hashtbl.fold (fun name v acc -> (name, v) :: acc) registry []
+  Hashtbl.fold (fun name e acc -> (name, value_of_entry e) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let reset () = Hashtbl.reset registry
+
+(* --- merge API --- *)
+
+let set name v = Hashtbl.replace registry name (entry_of_value v)
+
+let merge a b =
+  match (a, b) with
+  | Counter x, Counter y -> Some (Counter (x + y))
+  | Gauge _, Gauge y -> Some (Gauge y)
+  | Histogram x, Histogram y ->
+      let dense = dense_of_sparse (x.buckets @ y.buckets) in
+      Some
+        (Histogram
+           (summary_of_dense ~count:(x.count + y.count) ~sum:(x.sum +. y.sum)
+              ~min:(Float.min x.min y.min) ~max:(Float.max x.max y.max) dense))
+  | _ -> None
+
+(* --- rendering --- *)
 
 let pp fmt () =
   Format.fprintf fmt "@[<v>";
@@ -53,30 +192,87 @@ let pp fmt () =
       | Gauge g -> Format.fprintf fmt "%-36s gauge   %12g@," name g
       | Histogram h ->
           Format.fprintf fmt
-            "%-36s hist    %12d obs  mean %.4g  min %.4g  max %.4g@," name
-            h.count
+            "%-36s hist    %12d obs  mean %.4g  min %.4g  max %.4g  p50 \
+             %.4g  p95 %.4g  p99 %.4g@,"
+            name h.count
             (h.sum /. Float.of_int (max 1 h.count))
-            h.min h.max)
+            h.min h.max h.p50 h.p95 h.p99)
     (snapshot ());
   Format.fprintf fmt "@]"
 
+(* --- JSON --- *)
+
+let value_to_json = function
+  | Counter c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int c) ]
+  | Gauge g -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.float_opt g) ]
+  | Histogram h ->
+      Json.Obj
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int h.count);
+          ("sum", Json.float_opt h.sum);
+          ("min", Json.float_opt h.min);
+          ("max", Json.float_opt h.max);
+          ("mean", Json.float_opt (h.sum /. Float.of_int (max 1 h.count)));
+          ("p50", Json.float_opt h.p50);
+          ("p95", Json.float_opt h.p95);
+          ("p99", Json.float_opt h.p99);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (i, c) -> Json.List [ Json.Int i; Json.Int c ])
+                 h.buckets) );
+        ]
+
+let value_of_json v =
+  let ( let* ) = Result.bind in
+  let str_field name =
+    match Option.bind (Json.member name v) Json.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let int_field name =
+    match Json.member name v with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "field %S: expected int" name)
+  in
+  let float_field name =
+    match Option.bind (Json.member name v) Json.to_float_opt with
+    | Some f -> Ok f
+    | None -> (
+        (* non-finite floats serialize as null *)
+        match Json.member name v with
+        | Some Json.Null -> Ok Float.nan
+        | _ -> Error (Printf.sprintf "field %S: expected number" name))
+  in
+  let* ty = str_field "type" in
+  match ty with
+  | "counter" ->
+      let* c = int_field "value" in
+      Ok (Counter c)
+  | "gauge" ->
+      let* g = float_field "value" in
+      Ok (Gauge g)
+  | "histogram" ->
+      let* count = int_field "count" in
+      let* sum = float_field "sum" in
+      let* mn = float_field "min" in
+      let* mx = float_field "max" in
+      let* buckets =
+        match Option.bind (Json.member "buckets" v) Json.to_list_opt with
+        | None -> Ok [] (* tolerated: summary-only histogram *)
+        | Some l ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | Json.List [ Json.Int i; Json.Int c ] :: rest ->
+                  go ((i, c) :: acc) rest
+              | _ -> Error "field \"buckets\": expected [index, count] pairs"
+            in
+            go [] l
+      in
+      let dense = dense_of_sparse buckets in
+      Ok (Histogram (summary_of_dense ~count ~sum ~min:mn ~max:mx dense))
+  | t -> Error (Printf.sprintf "unknown instrument type %S" t)
+
 let to_json () =
-  Json.Obj
-    (List.map
-       (fun (name, v) ->
-         ( name,
-           match v with
-           | Counter c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int c) ]
-           | Gauge g -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.float_opt g) ]
-           | Histogram h ->
-               Json.Obj
-                 [
-                   ("type", Json.String "histogram");
-                   ("count", Json.Int h.count);
-                   ("sum", Json.float_opt h.sum);
-                   ("min", Json.float_opt h.min);
-                   ("max", Json.float_opt h.max);
-                   ( "mean",
-                     Json.float_opt (h.sum /. Float.of_int (max 1 h.count)) );
-                 ] ))
-       (snapshot ()))
+  Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) (snapshot ()))

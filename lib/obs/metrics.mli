@@ -2,21 +2,46 @@
 
     Instrumented code reports by name ([Metrics.incr "doubling.iterations"]);
     the registry lazily creates the instrument on first use. Recording is
-    cheap (one hashtable lookup and a field update), draws no randomness,
-    and never touches the simulation state, so instrumented runs are
-    bit-identical to bare ones. The registry is global: benchmarks and tests
-    that need isolation call {!reset} first.
+    cheap (one hashtable lookup and an in-place field update — no allocation
+    on the hot path), draws no randomness, and never touches the simulation
+    state, so instrumented runs are bit-identical to bare ones. The registry
+    is global: benchmarks and tests that need isolation call {!reset} first.
+
+    {b Process-locality.} The registry is per-OS-process. Code running inside
+    an [Mpproc] transport worker (see {!Cc_transport.Worker}) records into
+    {e that worker's} registry, not the parent's: before the telemetry plane
+    existed those counts were silently invisible. Workers now snapshot their
+    registry into the [Status] heartbeat and the supervisor merges the
+    reports into the parent registry under a [worker.<shard>.] namespace via
+    {!Cc_obs.Telemetry} — with epoch-aware monotone merge, so counts survive
+    respawn/reroute without double-counting. A worker's registry is reset at
+    every [Install] (checkpoint restore) so a restored worker never reports
+    stale pre-checkpoint counts on top of the epoch the parent already
+    committed.
 
     Conventions: dotted lowercase names, [subsystem.metric] (e.g.
     ["net.retransmits"], ["sampler.phases"], ["fixed.round_error"]). A name
     is permanently bound to its first-used instrument kind; mixing kinds
     under one name raises [Invalid_argument]. *)
 
+(** Exported summary of a histogram. Beyond count/sum/min/max, observations
+    are folded into fixed power-of-two log buckets (bucket [i] covers
+    [[2^(i-64), 2^(i-63))]; bucket 0 is everything non-positive or below
+    [2^-63]), from which deterministic percentile estimates are derived:
+    [p50]/[p95]/[p99] are the upper bound of the bucket where the cumulative
+    count crosses the rank, clamped into [[min, max]]. Bucketing is exact
+    arithmetic on the float exponent — no randomness, no sampling — so equal
+    observation streams give equal summaries. *)
 type histogram = {
   count : int;
   sum : float;
   min : float;
   max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  buckets : (int * int) list;
+      (** sparse [(bucket index, count)] pairs, ascending, zeros omitted. *)
 }
 
 type value =
@@ -24,13 +49,24 @@ type value =
   | Gauge of float
   | Histogram of histogram
 
+(** Number of log buckets (indices [0 .. n_buckets - 1]). *)
+val n_buckets : int
+
+(** [bucket_of x] is the log-bucket index observations of [x] fold into. *)
+val bucket_of : float -> int
+
+(** [percentile h q] re-derives the [q]-quantile ([0 < q <= 1]) of [h] from
+    its buckets; [nan] when [h] is empty. *)
+val percentile : histogram -> float -> float
+
 (** [incr ?by name] adds [by] (default 1) to counter [name]. *)
 val incr : ?by:int -> string -> unit
 
 (** [set_gauge name x] sets gauge [name] to [x]. *)
 val set_gauge : string -> float -> unit
 
-(** [observe name x] folds [x] into histogram [name] (count/sum/min/max). *)
+(** [observe name x] folds [x] into histogram [name] (count/sum/min/max and
+    the log bucket of [x]). Allocation-free after the instrument exists. *)
 val observe : string -> float -> unit
 
 (** [get name] is the current value bound to [name], if any. *)
@@ -42,7 +78,32 @@ val snapshot : unit -> (string * value) list
 (** [reset ()] empties the registry. *)
 val reset : unit -> unit
 
-(** [pp fmt ()] renders the registry, one instrument per line. *)
+(** {1 Merge API}
+
+    Used by the telemetry plane to fold a remote (worker) registry into this
+    process's registry; see {!Cc_obs.Telemetry}. *)
+
+(** [set name v] binds [name] to exactly [v], replacing any existing binding
+    regardless of kind. For merge layers — instrumented code should use the
+    incremental operations above. *)
+val set : string -> value -> unit
+
+(** [merge a b] combines two values of the same kind: counters add, gauges
+    take [b] (the later report), histograms merge bucket-wise (percentiles
+    re-derived). [None] on a kind mismatch. *)
+val merge : value -> value -> value option
+
+(** {1 Serialization} *)
+
+(** [value_to_json v] / [value_of_json j] round-trip one instrument value —
+    the wire form telemetry reports use. Histogram buckets serialize as
+    sparse [[index, count]] pairs. *)
+val value_to_json : value -> Json.t
+
+val value_of_json : Json.t -> (value, string) result
+
+(** [pp fmt ()] renders the registry, one instrument per line (histograms
+    with mean, min/max, and p50/p95/p99). *)
 val pp : Format.formatter -> unit -> unit
 
 (** [to_json ()] is the registry as a JSON object keyed by name. *)

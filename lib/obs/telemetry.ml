@@ -1,0 +1,278 @@
+type gc_stats = {
+  minor_words : float;
+  major_words : float;
+  heap_words : int;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+type span_agg = { name : string; calls : int; wall_s : float }
+
+type shard_wire = {
+  shard : int;
+  books : int;
+  gaps : int;
+  bytes_in : int;
+  installs : int;
+}
+
+type report = {
+  gc : gc_stats;
+  registry : (string * Metrics.value) list;
+  spans : span_agg list;
+  shards : shard_wire list;
+}
+
+let capture_gc () =
+  let s = Gc.quick_stat () in
+  {
+    minor_words = s.Gc.minor_words;
+    major_words = s.Gc.major_words;
+    heap_words = s.Gc.heap_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+  }
+
+let capture_spans () =
+  match Trace.current () with
+  | None -> []
+  | Some t ->
+      (* fold completed top-level spans by name, preserving first-seen order *)
+      let order = ref [] in
+      let tbl : (string, span_agg ref) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (s : Trace.span) ->
+          let wall = s.Trace.stop_ts -. s.Trace.start_ts in
+          match Hashtbl.find_opt tbl s.Trace.name with
+          | Some r ->
+              r := { !r with calls = !r.calls + 1; wall_s = !r.wall_s +. wall }
+          | None ->
+              Hashtbl.replace tbl s.Trace.name
+                (ref { name = s.Trace.name; calls = 1; wall_s = wall });
+              order := s.Trace.name :: !order)
+        (Trace.roots t);
+      List.rev_map (fun n -> !(Hashtbl.find tbl n)) !order
+
+let capture ~shards () =
+  {
+    gc = capture_gc ();
+    registry =
+      List.filter
+        (fun (name, _) ->
+          not (String.length name >= 7 && String.sub name 0 7 = "worker."))
+        (Metrics.snapshot ());
+    spans = capture_spans ();
+    shards;
+  }
+
+(* --- wire form --- *)
+
+let to_json r =
+  Json.Obj
+    [
+      ( "gc",
+        Json.Obj
+          [
+            ("minor_words", Json.float_opt r.gc.minor_words);
+            ("major_words", Json.float_opt r.gc.major_words);
+            ("heap_words", Json.Int r.gc.heap_words);
+            ("minor_collections", Json.Int r.gc.minor_collections);
+            ("major_collections", Json.Int r.gc.major_collections);
+            ("compactions", Json.Int r.gc.compactions);
+          ] );
+      ( "metrics",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Metrics.value_to_json v)) r.registry) );
+      ( "spans",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.String s.name);
+                   ("calls", Json.Int s.calls);
+                   ("wall_s", Json.float_opt s.wall_s);
+                 ])
+             r.spans) );
+      ( "shards",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("shard", Json.Int s.shard);
+                   ("books", Json.Int s.books);
+                   ("gaps", Json.Int s.gaps);
+                   ("bytes_in", Json.Int s.bytes_in);
+                   ("installs", Json.Int s.installs);
+                 ])
+             r.shards) );
+    ]
+
+let of_json v =
+  let ( let* ) = Result.bind in
+  let int_in obj name =
+    match Json.member name obj with Some (Json.Int i) -> Some i | _ -> None
+  in
+  let float_in obj name =
+    Option.bind (Json.member name obj) Json.to_float_opt
+  in
+  let* gc =
+    match Json.member "gc" v with
+    | Some g ->
+        Ok
+          {
+            minor_words = Option.value ~default:0. (float_in g "minor_words");
+            major_words = Option.value ~default:0. (float_in g "major_words");
+            heap_words = Option.value ~default:0 (int_in g "heap_words");
+            minor_collections =
+              Option.value ~default:0 (int_in g "minor_collections");
+            major_collections =
+              Option.value ~default:0 (int_in g "major_collections");
+            compactions = Option.value ~default:0 (int_in g "compactions");
+          }
+    | None -> Error "telemetry: missing field \"gc\""
+  in
+  let* registry =
+    match Json.member "metrics" v with
+    | Some (Json.Obj fields) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | (n, mv) :: rest -> (
+              match Metrics.value_of_json mv with
+              | Ok value -> go ((n, value) :: acc) rest
+              | Error e -> Error (Printf.sprintf "telemetry: metric %S: %s" n e)
+              )
+        in
+        go [] fields
+    | _ -> Error "telemetry: missing field \"metrics\""
+  in
+  let* spans =
+    match Option.bind (Json.member "spans" v) Json.to_list_opt with
+    | None -> Error "telemetry: missing field \"spans\""
+    | Some l ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | s :: rest -> (
+              match
+                ( Option.bind (Json.member "name" s) Json.to_string_opt,
+                  int_in s "calls" )
+              with
+              | Some name, Some calls ->
+                  go
+                    ({
+                       name;
+                       calls;
+                       wall_s = Option.value ~default:0. (float_in s "wall_s");
+                     }
+                    :: acc)
+                    rest
+              | _ -> Error "telemetry: malformed span aggregate")
+        in
+        go [] l
+  in
+  let* shards =
+    match Option.bind (Json.member "shards" v) Json.to_list_opt with
+    | None -> Error "telemetry: missing field \"shards\""
+    | Some l ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | s :: rest -> (
+              match int_in s "shard" with
+              | Some shard ->
+                  go
+                    ({
+                       shard;
+                       books = Option.value ~default:0 (int_in s "books");
+                       gaps = Option.value ~default:0 (int_in s "gaps");
+                       bytes_in = Option.value ~default:0 (int_in s "bytes_in");
+                       installs = Option.value ~default:0 (int_in s "installs");
+                     }
+                    :: acc)
+                    rest
+              | None -> Error "telemetry: malformed shard wire record")
+        in
+        go [] l
+  in
+  Ok { gc; registry; spans; shards }
+
+(* --- parent-side merge --- *)
+
+module Merge = struct
+  type cell = {
+    mutable committed : Metrics.value option;
+    mutable current : Metrics.value option;
+  }
+
+  type t = (string, cell) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let combine committed current =
+    match (committed, current) with
+    | Some a, Some b -> (
+        match Metrics.merge a b with Some v -> Some v | None -> Some b)
+    | Some a, None -> Some a
+    | None, c -> c
+
+  (* Flatten one report into the derived [worker.<shard>.*] key space. *)
+  let derive (r : report) =
+    List.concat_map
+      (fun sw ->
+        let p suffix = Printf.sprintf "worker.%d.%s" sw.shard suffix in
+        [
+          (p "wire.books", Metrics.Counter sw.books);
+          (p "wire.gaps", Metrics.Counter sw.gaps);
+          (p "wire.bytes_in", Metrics.Counter sw.bytes_in);
+          (p "wire.installs", Metrics.Counter sw.installs);
+          (p "gc.minor_words", Metrics.Gauge r.gc.minor_words);
+          (p "gc.major_words", Metrics.Gauge r.gc.major_words);
+          (p "gc.heap_words", Metrics.Gauge (float_of_int r.gc.heap_words));
+          ( p "gc.minor_collections",
+            Metrics.Gauge (float_of_int r.gc.minor_collections) );
+          ( p "gc.major_collections",
+            Metrics.Gauge (float_of_int r.gc.major_collections) );
+          (p "gc.compactions", Metrics.Gauge (float_of_int r.gc.compactions));
+        ]
+        @ List.map (fun (n, v) -> (p ("m." ^ n), v)) r.registry
+        @ List.concat_map
+            (fun s ->
+              [
+                (p ("span." ^ s.name ^ ".calls"), Metrics.Counter s.calls);
+                ( p ("span." ^ s.name ^ ".wall_ms"),
+                  Metrics.Counter
+                    (int_of_float (Float.round (s.wall_s *. 1000.))) );
+              ])
+            r.spans)
+      r.shards
+
+  let observe t r =
+    List.iter
+      (fun (key, v) ->
+        let cell =
+          match Hashtbl.find_opt t key with
+          | Some c -> c
+          | None ->
+              let c = { committed = None; current = None } in
+              Hashtbl.replace t key c;
+              c
+        in
+        cell.current <- Some v;
+        match combine cell.committed cell.current with
+        | Some published -> Metrics.set key published
+        | None -> ())
+      (derive r)
+
+  let commit t ~shard =
+    let prefix = Printf.sprintf "worker.%d." shard in
+    let plen = String.length prefix in
+    Hashtbl.iter
+      (fun key cell ->
+        if String.length key >= plen && String.sub key 0 plen = prefix then begin
+          cell.committed <- combine cell.committed cell.current;
+          cell.current <- None
+        end)
+      t
+end

@@ -1,0 +1,96 @@
+(** Cross-process telemetry: worker-side observability reports and their
+    epoch-aware merge into the parent registry.
+
+    {!Metrics} and {!Trace} registries are per-OS-process, so everything a
+    multi-process transport worker records is invisible to the parent unless
+    shipped over the wire. A {!report} is one worker's self-snapshot — GC
+    stats, its local metrics registry, completed top-level trace-span
+    aggregates, and per-shard wire health — piggybacked on the transport's
+    [Status] heartbeat reply (see {!Cc_transport.Wire}).
+
+    {b Epoch semantics.} A worker resets its registry and wire stats at every
+    [Install] (initial spawn, respawn-from-checkpoint, reroute), so each
+    report is cumulative {e since the worker's last install} — an epoch. The
+    parent-side {!Merge} keeps, per derived metric key, a [committed] value
+    (the fold of all closed epochs) and a [current] value (the latest report
+    of the open epoch), publishing [committed ⊕ current] into the parent
+    registry under a [worker.<shard>.] namespace. When the parent installs a
+    shard it {!Merge.commit}s that shard's keys — folding the open epoch into
+    [committed] — so counts are monotone across respawn/reroute and are never
+    double-counted. Work a worker performed after its last heartbeat but
+    before a crash is lost (the merged value is a monotone lower bound).
+
+    {b Namespace.} For each shard [s] carried by a report:
+    - [worker.s.wire.{books,gaps,bytes_in,installs}] — per-shard wire
+      counters from the report's {!shard_wire} records;
+    - [worker.s.gc.*] — process GC gauges (latest report wins);
+    - [worker.s.m.<name>] — the worker's own registry entries, native kind;
+    - [worker.s.span.<name>.{calls,wall_ms}] — trace-span aggregates.
+
+    Process-scope entries (gc, m, span) describe the whole worker process and
+    are attributed to {e every} shard the process owns, so after a reroute a
+    surviving worker's process stats appear under each adopted shard's
+    namespace.
+
+    Telemetry is zero-perturbation: capture and merge draw no randomness and
+    never touch transport mirrors, the ledger, or model state, so runs with
+    telemetry on and off are bit-identical. *)
+
+type gc_stats = {
+  minor_words : float;
+  major_words : float;
+  heap_words : int;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+(** Aggregate of completed top-level trace spans sharing a name. *)
+type span_agg = { name : string; calls : int; wall_s : float }
+
+(** Per-shard wire health as counted by the worker since its last install. *)
+type shard_wire = {
+  shard : int;
+  books : int;  (** [Book] frames applied. *)
+  gaps : int;  (** out-of-sequence [Book] frames refused (go-back-N). *)
+  bytes_in : int;  (** payload bytes received for this shard. *)
+  installs : int;  (** [Install]s accepted (0 or 1 within an epoch). *)
+}
+
+type report = {
+  gc : gc_stats;
+  registry : (string * Metrics.value) list;  (** local registry snapshot. *)
+  spans : span_agg list;
+  shards : shard_wire list;
+}
+
+(** [capture ~shards ()] snapshots the calling process: [Gc.quick_stat], the
+    {!Metrics} registry (entries already under [worker.] are excluded), and
+    the active {!Trace} collector's completed root spans, combined with the
+    caller-supplied per-shard wire stats. *)
+val capture : shards:shard_wire list -> unit -> report
+
+(** {1 Wire form} *)
+
+val to_json : report -> Json.t
+val of_json : Json.t -> (report, string) result
+
+(** {1 Parent-side merge} *)
+
+module Merge : sig
+  type t
+
+  val create : unit -> t
+
+  (** [observe t report] records [report] as the open-epoch value for every
+      derived [worker.<shard>.*] key and publishes [committed ⊕ current]
+      for each into the process {!Metrics} registry. *)
+  val observe : t -> report -> unit
+
+  (** [commit t ~shard] closes the open epoch for every key under
+      [worker.<shard>.]: folds [current] into [committed] and clears
+      [current]. Call at the moment the parent installs [shard] into a
+      worker — the next report for [shard] starts a fresh epoch. Published
+      registry values do not change. *)
+  val commit : t -> shard:int -> unit
+end

@@ -21,7 +21,14 @@
 
     Exporters: a human-readable span tree ({!pp_tree}), JSON-lines
     ({!to_jsonl}), and Chrome [trace_event] JSON ({!to_chrome_json}) loadable
-    in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+    in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    {b Process-locality.} The active collector is per-OS-process: spans
+    opened inside an [Mpproc] transport worker land in {e that worker's}
+    collector, not the parent's. Workers ship completed top-level span
+    aggregates (name, call count, wall seconds) to the parent inside their
+    telemetry report, merged under [worker.<shard>.span.*]; see
+    {!Cc_obs.Telemetry}. Full remote span trees are not reconstructed. *)
 
 type span = {
   id : int;

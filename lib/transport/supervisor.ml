@@ -1,6 +1,9 @@
 module Prng = Cc_util.Prng
 module Metrics = Cc_obs.Metrics
 module Trace = Cc_obs.Trace
+module Telemetry = Cc_obs.Telemetry
+module Journal = Cc_obs.Journal
+module Json = Cc_obs.Json
 
 type config = {
   workers : int;
@@ -11,6 +14,9 @@ type config = {
   wire_drop_prob : float;
   wire_corrupt_prob : float;
   wire_seed : int;
+  telemetry : bool;
+  stats_sock : string option;
+  journal_cap : int;
 }
 
 let default_config =
@@ -23,6 +29,9 @@ let default_config =
     wire_drop_prob = 0.0;
     wire_corrupt_prob = 0.0;
     wire_seed = 0;
+    telemetry = true;
+    stats_sock = None;
+    journal_cap = 4096;
   }
 
 type health =
@@ -55,6 +64,7 @@ type wslot = {
   wid : int;
   mutable conn : conn option;
   mutable respawns_used : int;
+  mutable last_rtt_ms : float;  (* last status-poll round trip; nan = none *)
 }
 
 type shardrec = {
@@ -74,6 +84,10 @@ type t = {
   slots : wslot array;
   shards : shardrec array;
   wire_prng : Prng.t option;
+  journal : Journal.t;
+  merge : Telemetry.Merge.t;
+  mutable stats_fd : Unix.file_descr option;
+  mutable s_rounds : float;
   mutable s_books : int;
   mutable s_kills : int;
   mutable s_respawns : int;
@@ -114,6 +128,13 @@ let health t =
             wire_retries = t.s_wire_retries;
           }
       else All_healthy
+
+let journal t = t.journal
+
+(* Journal shorthand: every event carries the simulated round clock. *)
+let jrecord t ?worker ?shard ?attempt ?budget ?cause kind =
+  Journal.record t.journal ?worker ?shard ?attempt ?budget ?cause
+    ~round:t.s_rounds kind
 
 let workers_alive t =
   Array.fold_left
@@ -160,7 +181,9 @@ let spawn t wid =
   | pid ->
       Unix.close child_fd;
       let c = { pid; fd = parent_fd } in
-      Wire.write_frame c.fd (Wire.encode (Wire.Hello { worker = wid }));
+      Wire.write_frame c.fd
+        (Wire.encode
+           (Wire.Hello { worker = wid; telemetry = t.config.telemetry }));
       c
   | exception e ->
       (try Unix.close parent_fd with Unix.Unix_error _ -> ());
@@ -178,6 +201,7 @@ let degrade t reason =
   if t.degraded = None then begin
     t.degraded <- Some reason;
     Metrics.incr "transport.degraded";
+    jrecord t ~cause:reason "degrade";
     Array.iter mark_dead t.slots
   end
 
@@ -228,13 +252,25 @@ let send_book ?(inject = true) t slot payload =
         mark_dead slot;
         false)
 
-let install_shard slot sr =
-  sr.pending <- [];
-  sr.since_sync <- 0;
-  ignore (send_ctl slot (Wire.encode (Wire.Install (Shard.to_state sr.mirror))))
-
 let shards_owned t wid =
   Array.to_list t.shards |> List.filter (fun sr -> sr.owner = wid)
+
+(* (Re)install a shard from its mirror checkpoint. The worker resets its
+   whole registry and wire stats on ANY Install, so the telemetry epoch of
+   every shard the slot serves closes here — commit them all, or the next
+   report would re-add counts the parent already holds. [why] is the
+   recovery cause; empty for the routine creation-time installs, which are
+   not journal-worthy (the clean-run gate wants start/stop only). *)
+let install_shard ?(why = "") t slot sr =
+  sr.pending <- [];
+  sr.since_sync <- 0;
+  List.iter
+    (fun o -> Telemetry.Merge.commit t.merge ~shard:o.mirror.Shard.id)
+    (shards_owned t slot.wid);
+  Telemetry.Merge.commit t.merge ~shard:sr.mirror.Shard.id;
+  if why <> "" then
+    jrecord t ~worker:slot.wid ~shard:sr.mirror.Shard.id ~cause:why "install";
+  ignore (send_ctl slot (Wire.encode (Wire.Install (Shard.to_state sr.mirror))))
 
 (* Respawn-or-reroute recovery for one worker slot. The mirror is the
    checkpoint: a respawned worker is restored with one Install per shard
@@ -253,7 +289,12 @@ let recover_slot t slot =
             slot.respawns_used <- slot.respawns_used + 1;
             t.s_respawns <- t.s_respawns + 1;
             Metrics.incr "transport.respawns";
-            List.iter (install_shard slot) (shards_owned t slot.wid);
+            jrecord t ~worker:slot.wid ~attempt:slot.respawns_used
+              ~budget:(t.config.max_respawns - slot.respawns_used)
+              "respawn";
+            List.iter
+              (install_shard ~why:"respawn restore" t slot)
+              (shards_owned t slot.wid);
             true
         | exception _ -> false)
       else false
@@ -269,7 +310,11 @@ let recover_slot t slot =
               sr.owner <- adopter.wid;
               t.s_reroutes <- t.s_reroutes + 1;
               Metrics.incr "transport.reroutes";
-              install_shard adopter sr)
+              jrecord t ~worker:adopter.wid ~shard:sr.mirror.Shard.id
+                ~cause:
+                  (Printf.sprintf "adopted from dead worker %d" slot.wid)
+                "reroute";
+              install_shard ~why:"reroute adoption" t adopter sr)
             (shards_owned t slot.wid)
       | None ->
           degrade t
@@ -283,14 +328,19 @@ let recover_slot t slot =
     Metrics.observe "transport.recovery_ms" (1000.0 *. dt)
   end
 
-(* One status poll with an absolute deadline. [`Status shards] on success. *)
-let poll_status slot ~timeout =
+(* One status poll with an absolute deadline. [`Status shards] on success.
+   When telemetry is on, a successful poll also feeds the parent registry:
+   the poll round trip becomes a [worker.<shard>.wire.rtt_ms] observation
+   for every shard the worker reported, and the attached worker report goes
+   through the epoch-aware merge. *)
+let poll_status t slot ~timeout =
+  let t0 = Unix.gettimeofday () in
   if not (send_ctl slot (Wire.encode Wire.Status_req)) then `Dead
   else
     match slot.conn with
     | None -> `Dead
     | Some c -> (
-        let deadline = Unix.gettimeofday () +. timeout in
+        let deadline = t0 +. timeout in
         let rec read () =
           match Wire.read_frame ~deadline c.fd with
           | Error Wire.Timeout -> `Timeout
@@ -298,7 +348,19 @@ let poll_status slot ~timeout =
           | Error (Wire.Bad_frame _) -> read ()
           | Ok payload -> (
               match Wire.decode payload with
-              | Ok (Wire.Status { shards }) -> `Status shards
+              | Ok (Wire.Status { shards; tele }) ->
+                  if t.config.telemetry then begin
+                    let rtt_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+                    slot.last_rtt_ms <- rtt_ms;
+                    List.iter
+                      (fun (id, _, _) ->
+                        Metrics.observe
+                          (Printf.sprintf "worker.%d.wire.rtt_ms" id)
+                          rtt_ms)
+                      shards;
+                    Option.iter (Telemetry.Merge.observe t.merge) tele
+                  end;
+                  `Status shards
               | Ok _ | Error _ -> read ())
         in
         read ())
@@ -311,6 +373,9 @@ let retransmit t sr ~applied =
     (fun (_, payload) ->
       t.s_wire_retries <- t.s_wire_retries + 1;
       Metrics.incr "transport.wire_retries";
+      if t.config.telemetry then
+        Metrics.incr
+          (Printf.sprintf "worker.%d.wire.retransmits" sr.mirror.Shard.id);
       ignore (send_book ~inject:false t slot payload))
     (List.rev sr.pending)
 
@@ -341,18 +406,28 @@ let rec sync_shard ?(budget = 2) t sr =
           t.config.status_timeout *. Float.of_int (1 lsl !attempt)
         in
         incr attempt;
-        match poll_status t.slots.(sr.owner) ~timeout with
+        if t.config.telemetry then
+          Metrics.set_gauge
+            (Printf.sprintf "worker.%d.wire.queue_depth" sr.mirror.Shard.id)
+            (Float.of_int (List.length sr.pending));
+        match poll_status t t.slots.(sr.owner) ~timeout with
         | `Dead ->
             mark_dead t.slots.(sr.owner);
             attempt := t.config.max_attempts (* leave the loop; recover below *)
-        | `Timeout -> ()
+        | `Timeout ->
+            jrecord t ~worker:sr.owner ~shard:sr.mirror.Shard.id
+              ~attempt:!attempt
+              ~budget:(t.config.max_attempts - !attempt)
+              ~cause:(Printf.sprintf "status poll timeout (%.2fs)" timeout)
+              "heartbeat_timeout"
         | `Status shards -> (
             match
               List.find_opt (fun (id, _, _) -> id = sr.mirror.Shard.id) shards
             with
             | None ->
                 (* Shard not installed (lost Install): restore it. *)
-                install_shard t.slots.(sr.owner) sr;
+                install_shard ~why:"lost install restored" t
+                  t.slots.(sr.owner) sr;
                 ok := true
             | Some (_, applied, digest) ->
                 if
@@ -386,14 +461,114 @@ let rec sync_shard ?(budget = 2) t sr =
     end
   end
 
+(* --- live stats socket ---
+
+   One JSON snapshot per accepted connection (connect, read to EOF, done) —
+   the contract [ccprof watch] polls against. Serving is zero-perturbation:
+   a zero-timeout select on the listen socket from the emit/sync paths, no
+   randomness, no transport state touched. *)
+
+let last_n n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let stats_json t =
+  Json.Obj
+    [
+      ("ts", Json.float_opt (Unix.gettimeofday ()));
+      ("machines", Json.Int t.n_machines);
+      ("health", Json.String (Format.asprintf "%a" pp_health (health t)));
+      ("rounds", Json.float_opt t.s_rounds);
+      ( "counters",
+        Json.Obj
+          [
+            ("books", Json.Int t.s_books);
+            ("kills", Json.Int t.s_kills);
+            ("respawns", Json.Int t.s_respawns);
+            ("reroutes", Json.Int t.s_reroutes);
+            ("wire_drops", Json.Int t.s_wire_drops);
+            ("wire_corrupts", Json.Int t.s_wire_corrupts);
+            ("wire_retries", Json.Int t.s_wire_retries);
+            ("syncs", Json.Int t.s_syncs);
+            ("recovery_s", Json.float_opt t.s_recovery);
+          ] );
+      ( "workers",
+        Json.List
+          (Array.to_list t.slots
+          |> List.map (fun s ->
+                 Json.Obj
+                   [
+                     ("wid", Json.Int s.wid);
+                     ("alive", Json.Bool (s.conn <> None));
+                     ( "pid",
+                       match s.conn with
+                       | Some c -> Json.Int c.pid
+                       | None -> Json.Null );
+                     ("respawns_used", Json.Int s.respawns_used);
+                     ("rtt_ms", Json.float_opt s.last_rtt_ms);
+                     ( "shards",
+                       Json.List
+                         (shards_owned t s.wid
+                         |> List.map (fun sr -> Json.Int sr.mirror.Shard.id))
+                     );
+                   ])) );
+      ( "shards",
+        Json.List
+          (Array.to_list t.shards
+          |> List.map (fun sr ->
+                 Json.Obj
+                   [
+                     ("shard", Json.Int sr.mirror.Shard.id);
+                     ("owner", Json.Int sr.owner);
+                     ("applied", Json.Int sr.mirror.Shard.applied);
+                     ("pending", Json.Int (List.length sr.pending));
+                   ])) );
+      ( "events",
+        Json.List
+          (last_n 8 (Journal.events t.journal)
+          |> List.map Journal.event_to_json) );
+    ]
+
+let write_string fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let service_stats t =
+  match t.stats_fd with
+  | None -> ()
+  | Some fd ->
+      let rec drain budget =
+        if budget > 0 then
+          match Unix.select [ fd ] [] [] 0.0 with
+          | [], _, _ -> ()
+          | _ ->
+              (match Unix.accept fd with
+              | client, _ ->
+                  (try
+                     write_string client
+                       (Json.to_string (stats_json t) ^ "\n")
+                   with Unix.Unix_error _ | Sys_error _ -> ());
+                  (try Unix.close client with Unix.Unix_error _ -> ())
+              | exception Unix.Unix_error _ -> ());
+              drain (budget - 1)
+          | exception Unix.Unix_error _ -> ()
+      in
+      drain 4
+
 let sync t =
   if t.degraded = None && not t.shut then
     Trace.with_span "transport.sync" (fun () ->
-        Array.iter (fun sr -> sync_shard t sr) t.shards)
+        Array.iter (fun sr -> sync_shard t sr) t.shards;
+        service_stats t)
 
 let emit t (book : Wire.book) =
   if t.degraded = None && not t.shut then begin
     t.s_books <- t.s_books + 1;
+    t.s_rounds <- t.s_rounds +. book.rounds;
+    service_stats t;
     Array.iter
       (fun sr ->
         let m = sr.mirror in
@@ -431,6 +606,9 @@ let crash_machines t ms =
                  then run the respawn-or-reroute recovery path. *)
               t.s_kills <- t.s_kills + 1;
               Metrics.incr "transport.kills";
+              jrecord t ~worker:slot.wid ~shard:sr.mirror.Shard.id
+                ~cause:(Printf.sprintf "sigkill (crash schedule, machine %d)" m)
+                "kill";
               (try Unix.kill c.pid Sys.sigkill with Unix.Unix_error _ -> ());
               recover_slot t slot
           | None -> ()
@@ -440,11 +618,23 @@ let crash_machines t ms =
 let shutdown t =
   if not t.shut then begin
     t.shut <- true;
+    (* Final telemetry flush: one last short poll per live worker so counts
+       recorded since the previous heartbeat reach the parent merge before
+       the workers exit. *)
+    if t.config.telemetry && t.degraded = None then
+      Array.iter
+        (fun slot ->
+          if slot.conn <> None then
+            ignore
+              (poll_status t slot
+                 ~timeout:(Float.min t.config.status_timeout 0.5)))
+        t.slots;
     Array.iter
       (fun slot ->
         match slot.conn with
         | None -> ()
         | Some c ->
+            jrecord t ~worker:slot.wid ~cause:"shutdown" "worker_stop";
             (try Wire.write_frame c.fd (Wire.encode Wire.Shutdown)
              with Unix.Unix_error _ | Sys_error _ -> ());
             close_conn c;
@@ -467,7 +657,15 @@ let shutdown t =
             in
             wait 50;
             slot.conn <- None)
-      t.slots
+      t.slots;
+    (match (t.stats_fd, t.config.stats_sock) with
+    | Some fd, path ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        t.stats_fd <- None;
+        Option.iter
+          (fun p -> try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+          path
+    | None, _ -> ())
   end
 
 let check_prob name p =
@@ -482,6 +680,8 @@ let create ?(config = default_config) ~machines () =
   if config.max_respawns < 0 then
     invalid_arg "Supervisor.create: max_respawns < 0";
   if config.sync_every < 1 then invalid_arg "Supervisor.create: sync_every < 1";
+  if config.journal_cap < 1 then
+    invalid_arg "Supervisor.create: journal_cap < 1";
   check_prob "wire_drop_prob" config.wire_drop_prob;
   check_prob "wire_corrupt_prob" config.wire_corrupt_prob;
   (* A SIGKILLed worker turns parent writes into EPIPE; we want the error,
@@ -494,7 +694,9 @@ let create ?(config = default_config) ~machines () =
       n_machines = machines;
       config = { config with workers };
       exe = Sys.executable_name;
-      slots = Array.init workers (fun wid -> { wid; conn = None; respawns_used = 0 });
+      slots =
+        Array.init workers (fun wid ->
+            { wid; conn = None; respawns_used = 0; last_rtt_ms = Float.nan });
       shards =
         Array.init workers (fun i ->
             let lo = i * machines / workers
@@ -511,6 +713,10 @@ let create ?(config = default_config) ~machines () =
               never consume (nor influence) model randomness. *)
            Some (Prng.create ~seed:(config.wire_seed lxor 0x3157))
          else None);
+      journal = Journal.create ~cap:config.journal_cap ();
+      merge = Telemetry.Merge.create ();
+      stats_fd = None;
+      s_rounds = 0.0;
       s_books = 0;
       s_kills = 0;
       s_respawns = 0;
@@ -524,10 +730,26 @@ let create ?(config = default_config) ~machines () =
       shut = false;
     }
   in
+  (match config.stats_sock with
+  | None -> ()
+  | Some path -> (
+      try
+        (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.set_close_on_exec fd;
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 8;
+        t.stats_fd <- Some fd
+      with Unix.Unix_error _ | Sys_error _ | Invalid_argument _ ->
+        (* An unusable stats path never blocks the run — watch just sees
+           nothing to connect to. *)
+        t.stats_fd <- None));
   Array.iter
     (fun slot ->
       match spawn t slot.wid with
-      | c -> slot.conn <- Some c
+      | c ->
+          slot.conn <- Some c;
+          jrecord t ~worker:slot.wid ~cause:"spawn" "worker_start"
       | exception _ -> ())
     t.slots;
   if workers_alive t = 0 then
@@ -544,9 +766,11 @@ let create ?(config = default_config) ~machines () =
           | Some adopter ->
               sr.owner <- adopter.wid;
               t.s_reroutes <- t.s_reroutes + 1;
-              install_shard adopter sr
+              jrecord t ~worker:adopter.wid ~shard:sr.mirror.Shard.id
+                ~cause:"owner failed to spawn" "reroute";
+              install_shard t adopter sr
           | None -> ()
         end
-        else install_shard slot sr)
+        else install_shard t slot sr)
       t.shards;
   t

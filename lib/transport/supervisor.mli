@@ -47,6 +47,17 @@ type config = {
       (** probability a [Book] frame is written with flipped payload bytes —
           the checksum catches it at the worker. In [0, 1). *)
   wire_seed : int;  (** seed of the private wire-fault stream. *)
+  telemetry : bool;
+      (** ship worker self-snapshots on [Status] replies and merge them into
+          the parent registry under [worker.<shard>.*] (see
+          {!Cc_obs.Telemetry}). Zero-perturbation either way: ledger,
+          rounds, and recorder digests are identical on and off. *)
+  stats_sock : string option;
+      (** when set, a Unix-domain listen socket at this path serves one live
+          JSON status snapshot per connection — the endpoint
+          [ccprof watch] polls. Unusable paths are ignored, never fatal. *)
+  journal_cap : int;
+      (** max retained supervision-journal events (drop-oldest). *)
 }
 
 val default_config : config
@@ -108,6 +119,14 @@ val sync : t -> unit
 
 val health : t -> health
 val snapshot : t -> snapshot
+
+(** [journal t] is the bounded supervision-event journal: one structured
+    record per health transition (worker start/stop, kill, heartbeat
+    timeout, respawn, checkpoint install, reroute, degrade), each stamped
+    with the simulated round clock. A clean run's journal holds only
+    [worker_start]/[worker_stop] — the property the clean-run CI gate
+    asserts via [ccprof events --assert-clean]. *)
+val journal : t -> Cc_obs.Journal.t
 
 (** [owner_of t m] is the worker slot currently serving machine [m]'s shard
     (per-process attribution for the load profile). *)

@@ -30,6 +30,7 @@ type t = {
   health : unit -> Supervisor.health;
   snapshot : unit -> Supervisor.snapshot option;
   owner_of : int -> int option;
+  journal : unit -> Cc_obs.Journal.t option;
   shutdown : unit -> unit;
 }
 
@@ -42,6 +43,7 @@ let inproc () =
     health = (fun () -> Supervisor.All_healthy);
     snapshot = (fun () -> None);
     owner_of = (fun _ -> None);
+    journal = (fun () -> None);
     shutdown = (fun () -> ());
   }
 
@@ -55,6 +57,7 @@ let mpproc ?config ~machines () =
     health = (fun () -> Supervisor.health sup);
     snapshot = (fun () -> Some (Supervisor.snapshot sup));
     owner_of = (fun m -> Some (Supervisor.owner_of sup m));
+    journal = (fun () -> Some (Supervisor.journal sup));
     shutdown = (fun () -> Supervisor.shutdown sup);
   }
 

@@ -47,6 +47,9 @@ type t = {
       (** [None] on {!inproc} (it has no counters). *)
   owner_of : int -> int option;
       (** worker slot serving a machine's shard; [None] on {!inproc}. *)
+  journal : unit -> Cc_obs.Journal.t option;
+      (** the supervision-event journal; [None] on {!inproc} (no
+          supervision happens, so there is nothing to record). *)
   shutdown : unit -> unit;  (** idempotent. *)
 }
 

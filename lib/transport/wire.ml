@@ -22,11 +22,14 @@ type shard_state = {
 }
 
 type msg =
-  | Hello of { worker : int }
+  | Hello of { worker : int; telemetry : bool }
   | Install of shard_state
   | Book of { shard : int; seq : int; book : book }
   | Status_req
-  | Status of { shards : (int * int * int64) list }
+  | Status of {
+      shards : (int * int * int64) list;
+      tele : Cc_obs.Telemetry.report option;
+    }
   | Shutdown
 
 (* --- digest --- *)
@@ -83,9 +86,14 @@ let json_of_state s =
     ]
 
 let encode = function
-  | Hello { worker } ->
+  | Hello { worker; telemetry } ->
       Json.to_string
-        (Json.Obj [ ("t", Json.String "hello"); ("worker", Json.Int worker) ])
+        (Json.Obj
+           [
+             ("t", Json.String "hello");
+             ("worker", Json.Int worker);
+             ("telemetry", Json.Bool telemetry);
+           ])
   | Install s -> Json.to_string (json_of_state s)
   | Book { shard; seq; book } ->
       Json.to_string
@@ -97,24 +105,28 @@ let encode = function
              ("book", json_of_book book);
            ])
   | Status_req -> Json.to_string (Json.Obj [ ("t", Json.String "status?") ])
-  | Status { shards } ->
+  | Status { shards; tele } ->
       Json.to_string
         (Json.Obj
-           [
-             ("t", Json.String "status");
-             ( "shards",
-               Json.List
-                 (List.map
-                    (fun (id, applied, digest) ->
-                      Json.Obj
-                        [
-                          ("shard", Json.Int id);
-                          ("applied", Json.Int applied);
-                          ( "digest",
-                            Json.String (Printf.sprintf "%016Lx" digest) );
-                        ])
-                    shards) );
-           ])
+           ([
+              ("t", Json.String "status");
+              ( "shards",
+                Json.List
+                  (List.map
+                     (fun (id, applied, digest) ->
+                       Json.Obj
+                         [
+                           ("shard", Json.Int id);
+                           ("applied", Json.Int applied);
+                           ( "digest",
+                             Json.String (Printf.sprintf "%016Lx" digest) );
+                         ])
+                     shards) );
+            ]
+           @
+           match tele with
+           | None -> []
+           | Some r -> [ ("tele", Cc_obs.Telemetry.to_json r) ]))
   | Shutdown -> Json.to_string (Json.Obj [ ("t", Json.String "shutdown") ])
 
 (* Shape-checked field accessors: a decode error names the missing field. *)
@@ -194,7 +206,13 @@ let decode s =
   match tag with
   | "hello" ->
       let* worker = int_field "worker" v in
-      Ok (Hello { worker })
+      (* Missing flag (older peer) means telemetry on — the default. *)
+      let telemetry =
+        match Json.member "telemetry" v with
+        | Some (Json.Bool b) -> b
+        | _ -> true
+      in
+      Ok (Hello { worker; telemetry })
   | "install" ->
       let* st = state_of_json v in
       Ok (Install st)
@@ -212,8 +230,16 @@ let decode s =
         | Some l -> Ok l
         | None -> Error "field \"shards\": expected list"
       in
+      let* tele =
+        match Json.member "tele" v with
+        | None -> Ok None
+        | Some tv -> (
+            match Cc_obs.Telemetry.of_json tv with
+            | Ok r -> Ok (Some r)
+            | Error e -> Error (Printf.sprintf "field \"tele\": %s" e))
+      in
       let rec go acc = function
-        | [] -> Ok (Status { shards = List.rev acc })
+        | [] -> Ok (Status { shards = List.rev acc; tele })
         | sv :: rest ->
             let* id = int_field "shard" sv in
             let* applied = int_field "applied" sv in

@@ -48,19 +48,29 @@ type shard_state = {
 }
 
 type msg =
-  | Hello of { worker : int }  (** parent -> worker: identity, sent once. *)
+  | Hello of { worker : int; telemetry : bool }
+      (** parent -> worker: identity, sent once. [telemetry] tells the worker
+          whether to attach a {!Cc_obs.Telemetry} report to its [Status]
+          replies (absent on the wire decodes as [true]). *)
   | Install of shard_state
       (** parent -> worker: create, restore (respawn) or adopt (reroute) a
-          shard from a checkpoint. Replaces any existing state for the id. *)
+          shard from a checkpoint. Replaces any existing state for the id.
+          Also resets the worker's local metrics/trace registries and wire
+          stats — each install opens a fresh telemetry epoch. *)
   | Book of { shard : int; seq : int; book : book }
       (** parent -> worker: apply book [seq] to [shard]. A worker only
           applies [seq = applied + 1]; anything else is a gap (a lost or
           corrupted predecessor) and is ignored — go-back-N retransmission
           is the parent's job, triggered by the next status poll. *)
   | Status_req  (** parent -> worker: report all shards. *)
-  | Status of { shards : (int * int * int64) list }
+  | Status of {
+      shards : (int * int * int64) list;
+      tele : Cc_obs.Telemetry.report option;
+    }
       (** worker -> parent: [(shard, applied, digest)] per shard, ascending
-          by shard id — the ack/heartbeat the supervisor syncs against. *)
+          by shard id — the ack/heartbeat the supervisor syncs against —
+          plus, when telemetry is enabled, the worker's self-snapshot
+          (metrics registry, GC, span aggregates, per-shard wire health). *)
   | Shutdown  (** parent -> worker: exit cleanly. *)
 
 val encode : msg -> string

@@ -1,7 +1,43 @@
+module Metrics = Cc_obs.Metrics
+module Telemetry = Cc_obs.Telemetry
+
 let argv_marker = "__cc-transport-worker"
+
+(* Per-shard wire health, counted since the last [Install] (the telemetry
+   epoch boundary). *)
+type wstats = {
+  mutable books : int;
+  mutable gaps : int;
+  mutable bytes_in : int;
+  mutable installs : int;
+}
 
 let serve ~input ~output =
   let shards : (int, Shard.t) Hashtbl.t = Hashtbl.create 4 in
+  let stats : (int, wstats) Hashtbl.t = Hashtbl.create 4 in
+  let telemetry = ref true in
+  let stat shard =
+    match Hashtbl.find_opt stats shard with
+    | Some s -> s
+    | None ->
+        let s = { books = 0; gaps = 0; bytes_in = 0; installs = 0 } in
+        Hashtbl.replace stats shard s;
+        s
+  in
+  let wire_report () =
+    Hashtbl.fold
+      (fun id (s : wstats) acc ->
+        {
+          Telemetry.shard = id;
+          books = s.books;
+          gaps = s.gaps;
+          bytes_in = s.bytes_in;
+          installs = s.installs;
+        }
+        :: acc)
+      stats []
+    |> List.sort (fun a b -> compare a.Telemetry.shard b.Telemetry.shard)
+  in
   let running = ref true in
   while !running do
     match Wire.read_frame input with
@@ -11,25 +47,54 @@ let serve ~input ~output =
         (* A corrupted payload: the frame was consumed (length-prefixed), so
            the stream is still in sync. Drop it — the parent's go-back-N
            retransmission repairs the sequence gap it leaves behind. *)
-        ()
+        Metrics.incr "wire.bad_frames"
     | Ok payload -> (
+        Metrics.incr "wire.frames_in";
+        Metrics.incr ~by:(String.length payload) "wire.bytes_in";
         match Wire.decode payload with
         | Error _ -> () (* undecodable payload: same story as a bad frame *)
-        | Ok (Wire.Hello _) -> ()
+        | Ok (Wire.Hello h) -> telemetry := h.telemetry
         | Ok (Wire.Install st) ->
-            Hashtbl.replace shards st.Wire.shard (Shard.of_state st)
+            (* An install opens a fresh telemetry epoch: the parent commits
+               everything this worker reported so far, so the local registry
+               and wire stats restart from zero — a respawned or rerouted
+               worker never re-reports pre-checkpoint counts. *)
+            Metrics.reset ();
+            Hashtbl.iter
+              (fun _ (s : wstats) ->
+                s.books <- 0;
+                s.gaps <- 0;
+                s.bytes_in <- 0;
+                s.installs <- 0)
+              stats;
+            Hashtbl.replace shards st.Wire.shard (Shard.of_state st);
+            (stat st.Wire.shard).installs <- 1
         | Ok (Wire.Book { shard; seq; book }) -> (
             match Hashtbl.find_opt shards shard with
-            | Some s -> ignore (Shard.apply s ~seq book)
+            | Some s -> (
+                let w = stat shard in
+                match Shard.apply s ~seq book with
+                | Shard.Applied ->
+                    w.books <- w.books + 1;
+                    w.bytes_in <- w.bytes_in + String.length payload
+                | Shard.Gap -> w.gaps <- w.gaps + 1)
             | None -> () (* not installed yet: parent will resync *))
         | Ok Wire.Status_req ->
+            Metrics.incr "wire.status_reqs";
             let report =
               Hashtbl.fold
                 (fun id (s : Shard.t) acc -> (id, s.applied, s.digest) :: acc)
                 shards []
               |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
             in
-            Wire.write_frame output (Wire.encode (Wire.Status { shards = report }))
+            let tele =
+              if !telemetry then
+                Some (Telemetry.capture ~shards:(wire_report ()) ())
+              else None
+            in
+            let encoded = Wire.encode (Wire.Status { shards = report; tele }) in
+            Metrics.incr ~by:(String.length encoded) "wire.bytes_out";
+            Wire.write_frame output encoded
         | Ok (Wire.Status _) -> () (* parent-bound only *)
         | Ok Wire.Shutdown -> running := false)
   done

@@ -9,7 +9,16 @@
 
     Malformed or checksum-failing frames are skipped (the parent's
     retransmission heals the resulting gap); EOF or [Shutdown] ends the
-    process. *)
+    process.
+
+    {b Telemetry.} Unless the parent's [Hello] turned it off, every [Status]
+    reply carries a {!Cc_obs.Telemetry} self-snapshot: the worker's local
+    metrics registry (frame/byte/status counters under [wire.*], plus
+    whatever the serving code records), GC stats, completed trace-span
+    aggregates, and per-shard wire health. The registry and wire stats are
+    reset at every [Install] — each install opens a fresh telemetry epoch,
+    which is what lets the parent's monotone merge survive respawn/reroute
+    without double-counting (see {!Cc_obs.Telemetry.Merge}). *)
 
 (** [serve ~input ~output] runs the message loop until EOF or [Shutdown].
     Returns normally on a clean shutdown. *)

@@ -614,6 +614,252 @@ let test_metrics_json () =
     (contains_substring ~needle:"\"err\"" s && contains_substring ~needle:"\"count\"" s);
   Metrics.reset ()
 
+let test_metrics_percentiles () =
+  Metrics.reset ();
+  (* 100 observations 1..100: p50 falls in the bucket [32, 64), p95 and p99
+     in [64, 128) — the estimate is the bucket's upper bound clamped to the
+     observed max. Deterministic: same stream, same summary. *)
+  for i = 1 to 100 do
+    Metrics.observe "lat" (Float.of_int i)
+  done;
+  (match Metrics.get "lat" with
+  | Some (Metrics.Histogram h) ->
+      Alcotest.(check int) "count" 100 h.Metrics.count;
+      Alcotest.(check (float 0.0)) "p50 = bucket upper bound" 64.0 h.Metrics.p50;
+      Alcotest.(check (float 0.0)) "p95 clamped to max" 100.0 h.Metrics.p95;
+      Alcotest.(check (float 0.0)) "p99 clamped to max" 100.0 h.Metrics.p99;
+      (* percentile re-derivation from the sparse buckets agrees *)
+      Alcotest.(check (float 0.0))
+        "re-derived p50" h.Metrics.p50
+        (Metrics.percentile h 0.50);
+      (* rank 1 is the value 1.0, in bucket [1, 2): upper bound 2.0 *)
+      Alcotest.(check (float 0.0)) "p1 bucket bound" 2.0
+        (Metrics.percentile h 0.01)
+  | _ -> Alcotest.fail "histogram missing");
+  (* Degenerate: a single observation pins every percentile to it. *)
+  Metrics.observe "one" 42.0;
+  (match Metrics.get "one" with
+  | Some (Metrics.Histogram h) ->
+      Alcotest.(check (float 0.0)) "single p50" 42.0 h.Metrics.p50;
+      Alcotest.(check (float 0.0)) "single p99" 42.0 h.Metrics.p99
+  | _ -> Alcotest.fail "histogram missing");
+  (* Non-positive observations land in bucket 0 and report min. *)
+  Metrics.observe "neg" (-5.0);
+  Metrics.observe "neg" 0.0;
+  (match Metrics.get "neg" with
+  | Some (Metrics.Histogram h) ->
+      Alcotest.(check (float 0.0)) "non-positive p50" (-5.0) h.Metrics.p50
+  | _ -> Alcotest.fail "histogram missing");
+  Metrics.reset ()
+
+let test_metrics_bucket_of () =
+  Alcotest.(check int) "zero -> 0" 0 (Metrics.bucket_of 0.0);
+  Alcotest.(check int) "negative -> 0" 0 (Metrics.bucket_of (-3.0));
+  Alcotest.(check int) "nan -> 0" 0 (Metrics.bucket_of Float.nan);
+  Alcotest.(check int) "1.0 -> 64" 64 (Metrics.bucket_of 1.0);
+  Alcotest.(check int) "1.5 stays in [1,2)" 64 (Metrics.bucket_of 1.5);
+  Alcotest.(check int) "2.0 -> 65" 65 (Metrics.bucket_of 2.0);
+  Alcotest.(check int) "0.5 -> 63" 63 (Metrics.bucket_of 0.5);
+  Alcotest.(check int) "underflow clamps" 0 (Metrics.bucket_of 1e-30);
+  Alcotest.(check int)
+    "infinity clamps to last"
+    (Metrics.n_buckets - 1)
+    (Metrics.bucket_of Float.infinity)
+
+let test_metrics_merge () =
+  (* counters add *)
+  (match Metrics.merge (Metrics.Counter 3) (Metrics.Counter 4) with
+  | Some (Metrics.Counter 7) -> ()
+  | _ -> Alcotest.fail "counters must add");
+  (* gauges take the later report *)
+  (match Metrics.merge (Metrics.Gauge 1.0) (Metrics.Gauge 9.0) with
+  | Some (Metrics.Gauge g) -> Alcotest.(check (float 0.0)) "gauge" 9.0 g
+  | _ -> Alcotest.fail "gauges must take b");
+  (* kind mismatch refuses *)
+  Alcotest.(check bool) "mismatch" true
+    (Metrics.merge (Metrics.Counter 1) (Metrics.Gauge 1.0) = None);
+  (* histograms merge bucket-wise: build two, merge, compare against the
+     histogram of the concatenated stream *)
+  Metrics.reset ();
+  for i = 1 to 50 do
+    Metrics.observe "a" (Float.of_int i)
+  done;
+  for i = 51 to 100 do
+    Metrics.observe "b" (Float.of_int i)
+  done;
+  for i = 1 to 100 do
+    Metrics.observe "ab" (Float.of_int i)
+  done;
+  (match (Metrics.get "a", Metrics.get "b", Metrics.get "ab") with
+  | Some va, Some vb, Some (Metrics.Histogram want) -> (
+      match Metrics.merge va vb with
+      | Some (Metrics.Histogram got) ->
+          Alcotest.(check int) "count" want.Metrics.count got.Metrics.count;
+          Alcotest.(check (float 1e-9)) "sum" want.Metrics.sum got.Metrics.sum;
+          Alcotest.(check (float 0.0)) "min" want.Metrics.min got.Metrics.min;
+          Alcotest.(check (float 0.0)) "max" want.Metrics.max got.Metrics.max;
+          Alcotest.(check (float 0.0)) "p50" want.Metrics.p50 got.Metrics.p50;
+          Alcotest.(check (float 0.0)) "p99" want.Metrics.p99 got.Metrics.p99
+      | _ -> Alcotest.fail "histogram merge failed")
+  | _ -> Alcotest.fail "setup failed");
+  Metrics.reset ()
+
+let test_metrics_value_json_roundtrip () =
+  Metrics.reset ();
+  for i = 1 to 30 do
+    Metrics.observe "h" (Float.of_int (i * i))
+  done;
+  Metrics.incr ~by:17 "c";
+  Metrics.set_gauge "g" 2.75;
+  List.iter
+    (fun name ->
+      match Metrics.get name with
+      | None -> Alcotest.failf "%s missing" name
+      | Some v -> (
+          match Metrics.value_of_json (Metrics.value_to_json v) with
+          | Error e -> Alcotest.failf "%s roundtrip: %s" name e
+          | Ok v' -> (
+              match (v, v') with
+              | Metrics.Counter a, Metrics.Counter b ->
+                  Alcotest.(check int) "counter" a b
+              | Metrics.Gauge a, Metrics.Gauge b ->
+                  Alcotest.(check (float 0.0)) "gauge" a b
+              | Metrics.Histogram a, Metrics.Histogram b ->
+                  Alcotest.(check int) "count" a.Metrics.count b.Metrics.count;
+                  Alcotest.(check (float 0.0)) "p50" a.Metrics.p50
+                    b.Metrics.p50;
+                  Alcotest.(check bool) "buckets" true
+                    (a.Metrics.buckets = b.Metrics.buckets)
+              | _ -> Alcotest.fail "kind changed in roundtrip")))
+    [ "h"; "c"; "g" ];
+  Metrics.reset ()
+
+(* --- Telemetry --------------------------------------------------------- *)
+
+module Telemetry = Cc_obs.Telemetry
+
+let wire ?(books = 0) ?(gaps = 0) ?(bytes_in = 0) ?(installs = 0) shard =
+  { Telemetry.shard; books; gaps; bytes_in; installs }
+
+let test_telemetry_capture_and_roundtrip () =
+  Metrics.reset ();
+  Metrics.incr ~by:3 "wire.frames_in";
+  Metrics.observe "apply_ms" 1.5;
+  (* pre-merged worker.* entries must not be re-captured (no recursion) *)
+  Metrics.set "worker.0.wire.books" (Metrics.Counter 99);
+  let r = Telemetry.capture ~shards:[ wire ~books:5 ~bytes_in:640 0 ] () in
+  Alcotest.(check bool) "gc captured" true (r.Telemetry.gc.heap_words > 0);
+  Alcotest.(check bool) "registry captured" true
+    (List.mem_assoc "wire.frames_in" r.Telemetry.registry);
+  Alcotest.(check bool) "worker.* excluded" false
+    (List.mem_assoc "worker.0.wire.books" r.Telemetry.registry);
+  (match Telemetry.of_json (Telemetry.to_json r) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok r' ->
+      Alcotest.(check int) "shards" 1 (List.length r'.Telemetry.shards);
+      Alcotest.(check int) "books" 5
+        (List.hd r'.Telemetry.shards).Telemetry.books;
+      Alcotest.(check int) "registry size"
+        (List.length r.Telemetry.registry)
+        (List.length r'.Telemetry.registry));
+  Metrics.reset ()
+
+let get_counter name =
+  match Metrics.get name with
+  | Some (Metrics.Counter c) -> c
+  | _ -> Alcotest.failf "counter %s missing" name
+
+let test_telemetry_merge_epochs () =
+  Metrics.reset ();
+  let m = Telemetry.Merge.create () in
+  let report ?(registry = []) books =
+    {
+      Telemetry.gc =
+        {
+          minor_words = 0.;
+          major_words = 0.;
+          heap_words = 1;
+          minor_collections = 0;
+          major_collections = 0;
+          compactions = 0;
+        };
+      registry;
+      spans = [];
+      shards = [ wire ~books 0 ];
+    }
+  in
+  (* Within one epoch reports are cumulative: observing 5 then 8 publishes
+     8, not 13. *)
+  Telemetry.Merge.observe m (report 5);
+  Telemetry.Merge.observe m (report 8);
+  Alcotest.(check int) "cumulative within epoch" 8
+    (get_counter "worker.0.wire.books");
+  (* A commit closes the epoch; the next epoch's reports add on top. *)
+  Telemetry.Merge.commit m ~shard:0;
+  Alcotest.(check int) "commit leaves published value" 8
+    (get_counter "worker.0.wire.books");
+  Telemetry.Merge.observe m (report 3);
+  Alcotest.(check int) "epochs sum" 11 (get_counter "worker.0.wire.books");
+  (* Double commit must not double-count. *)
+  Telemetry.Merge.commit m ~shard:0;
+  Telemetry.Merge.commit m ~shard:0;
+  Telemetry.Merge.observe m (report 0);
+  Alcotest.(check int) "no double count" 11
+    (get_counter "worker.0.wire.books");
+  (* Worker registry entries ride under worker.<shard>.m.* *)
+  Telemetry.Merge.observe m
+    (report ~registry:[ ("wire.frames_in", Metrics.Counter 4) ] 0);
+  Alcotest.(check int) "registry namespaced" 4
+    (get_counter "worker.0.m.wire.frames_in");
+  Metrics.reset ()
+
+(* --- Journal ----------------------------------------------------------- *)
+
+module Journal = Cc_obs.Journal
+
+let test_journal_record_and_roundtrip () =
+  let t = ref 0.0 in
+  let clock () =
+    t := !t +. 0.5;
+    !t
+  in
+  let j = Journal.create ~clock () in
+  Journal.record j ~worker:0 ~cause:"spawn" "worker_start";
+  Journal.record j ~worker:1 ~shard:1 ~attempt:2 ~budget:1 ~round:12.5
+    ~cause:"status poll timeout" "heartbeat_timeout";
+  Journal.record j ~worker:1 "respawn";
+  Alcotest.(check int) "length" 3 (Journal.length j);
+  Alcotest.(check bool) "not clean" false (Journal.is_clean j);
+  (match Journal.events j with
+  | [ e0; e1; e2 ] ->
+      Alcotest.(check int) "seq monotone" 0 e0.Journal.seq;
+      Alcotest.(check int) "seq monotone" 2 e2.Journal.seq;
+      Alcotest.(check bool) "time monotone" true (e1.Journal.t_s > e0.Journal.t_s);
+      Alcotest.(check (option int)) "shard" (Some 1) e1.Journal.shard;
+      Alcotest.(check (float 0.0)) "round" 12.5 e1.Journal.round
+  | _ -> Alcotest.fail "wrong event count");
+  match Journal.of_jsonl (Journal.to_jsonl j) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok evs ->
+      Alcotest.(check int) "roundtrip count" 3 (List.length evs);
+      let e1 = List.nth evs 1 in
+      Alcotest.(check string) "kind" "heartbeat_timeout" e1.Journal.kind;
+      Alcotest.(check (option int)) "attempt" (Some 2) e1.Journal.attempt;
+      Alcotest.(check (option int)) "budget" (Some 1) e1.Journal.budget;
+      Alcotest.(check string) "cause" "status poll timeout" e1.Journal.cause
+
+let test_journal_bounded () =
+  let j = Journal.create ~cap:4 ~clock:(fun () -> 0.0) () in
+  for i = 1 to 10 do
+    Journal.record j ~worker:i "worker_start"
+  done;
+  Alcotest.(check int) "capped" 4 (Journal.length j);
+  Alcotest.(check int) "dropped counted" 6 (Journal.dropped j);
+  (match Journal.events j with
+  | e :: _ -> Alcotest.(check int) "oldest dropped first" 6 e.Journal.seq
+  | [] -> Alcotest.fail "empty");
+  Alcotest.(check bool) "clean (only starts)" true (Journal.is_clean j)
+
 (* --- Json emitter escaping (round-trips through the parser) ------------ *)
 
 let emit_parse s =
@@ -995,5 +1241,24 @@ let () =
           Alcotest.test_case "kind conflicts raise" `Quick
             test_metrics_kind_conflict;
           Alcotest.test_case "json export" `Quick test_metrics_json;
+          Alcotest.test_case "log-bucket percentiles" `Quick
+            test_metrics_percentiles;
+          Alcotest.test_case "bucket_of" `Quick test_metrics_bucket_of;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+          Alcotest.test_case "value json roundtrip" `Quick
+            test_metrics_value_json_roundtrip;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "capture and roundtrip" `Quick
+            test_telemetry_capture_and_roundtrip;
+          Alcotest.test_case "epoch-aware merge" `Quick
+            test_telemetry_merge_epochs;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "record and roundtrip" `Quick
+            test_journal_record_and_roundtrip;
+          Alcotest.test_case "bounded drop-oldest" `Quick test_journal_bounded;
         ] );
     ]

@@ -43,9 +43,16 @@ let roundtrip m =
   | Error e -> Alcotest.failf "decode failed: %s" e
 
 let test_codec_roundtrip () =
-  (match roundtrip (Wire.Hello { worker = 3 }) with
-  | Wire.Hello { worker } -> Alcotest.(check int) "worker" 3 worker
+  (match roundtrip (Wire.Hello { worker = 3; telemetry = false }) with
+  | Wire.Hello { worker; telemetry } ->
+      Alcotest.(check int) "worker" 3 worker;
+      Alcotest.(check bool) "telemetry flag" false telemetry
   | _ -> Alcotest.fail "wrong variant");
+  (* A hello without the flag (older peer) defaults to telemetry on. *)
+  (match Wire.decode "{\"t\":\"hello\",\"worker\":1}" with
+  | Ok (Wire.Hello { telemetry; _ }) ->
+      Alcotest.(check bool) "telemetry default" true telemetry
+  | _ -> Alcotest.fail "bare hello must decode");
   (* A fractional round count that needs all 17 significant digits: the wire
      must round-trip the exact bits (the digest folds them). *)
   let b =
@@ -79,12 +86,46 @@ let test_codec_roundtrip () =
       Alcotest.(check bool) "digest" true (Int64.equal st.digest st'.Wire.digest);
       Alcotest.(check (array int)) "sent" st.sent st'.Wire.sent
   | _ -> Alcotest.fail "wrong variant");
-  (match roundtrip (Wire.Status { shards = [ (0, 5, 123L); (1, 9, -1L) ] }) with
-  | Wire.Status { shards } ->
+  (match
+     roundtrip
+       (Wire.Status { shards = [ (0, 5, 123L); (1, 9, -1L) ]; tele = None })
+   with
+  | Wire.Status { shards; tele } ->
       Alcotest.(check int) "shards" 2 (List.length shards);
+      Alcotest.(check bool) "no telemetry attached" true (tele = None);
       Alcotest.(check bool) "negative digest survives" true
         (List.exists (fun (_, _, d) -> Int64.equal d (-1L)) shards)
   | _ -> Alcotest.fail "wrong variant");
+  (* A status carrying a telemetry report round-trips it. *)
+  let tele_report =
+    {
+      Cc_obs.Telemetry.gc =
+        {
+          minor_words = 12.5;
+          major_words = 3.0;
+          heap_words = 4096;
+          minor_collections = 2;
+          major_collections = 1;
+          compactions = 0;
+        };
+      registry = [ ("wire.frames_in", Cc_obs.Metrics.Counter 7) ];
+      spans = [ { name = "serve"; calls = 1; wall_s = 0.25 } ];
+      shards =
+        [ { shard = 0; books = 5; gaps = 1; bytes_in = 640; installs = 1 } ];
+    }
+  in
+  (match
+     roundtrip
+       (Wire.Status { shards = [ (0, 5, 123L) ]; tele = Some tele_report })
+   with
+  | Wire.Status { tele = Some r; _ } ->
+      Alcotest.(check int) "tele heap words" 4096
+        r.Cc_obs.Telemetry.gc.heap_words;
+      Alcotest.(check int) "tele registry" 1
+        (List.length r.Cc_obs.Telemetry.registry);
+      Alcotest.(check int) "tele shard books" 5
+        (List.hd r.Cc_obs.Telemetry.shards).Cc_obs.Telemetry.books
+  | _ -> Alcotest.fail "telemetry lost in transit");
   (match roundtrip Wire.Status_req with
   | Wire.Status_req -> ()
   | _ -> Alcotest.fail "wrong variant");
@@ -209,7 +250,7 @@ let expect_status fd =
   match Wire.read_frame ~deadline:(Unix.gettimeofday () +. 5.0) fd with
   | Ok p -> (
       match Wire.decode p with
-      | Ok (Wire.Status { shards }) -> shards
+      | Ok (Wire.Status { shards; _ }) -> shards
       | _ -> Alcotest.fail "expected a status reply")
   | Error _ -> Alcotest.fail "no status reply"
 
@@ -230,7 +271,7 @@ let test_worker_protocol () =
           ignore (Unix.waitpid [] pid))
         (fun () ->
           let mirror = Shard.create ~id:0 ~lo:0 ~hi:3 in
-          send (Wire.Hello { worker = 0 });
+          send (Wire.Hello { worker = 0; telemetry = true });
           send (Wire.Install (Shard.to_state mirror));
           let b1 = book ~sent:[| 1; 2; 3 |] ~recv:[| 3; 2; 1 |] () in
           let b2 = book ~label:"second" ~rounds:(4.0 /. 7.0) () in
@@ -376,6 +417,147 @@ let test_supervisor_degrades_when_unrecoverable () =
   Alcotest.(check int) "no workers" 0 (Supervisor.workers_alive sup);
   Supervisor.shutdown sup
 
+(* --- telemetry plane + supervision journal --- *)
+
+let counter_value name =
+  match Cc_obs.Metrics.get name with
+  | Some (Cc_obs.Metrics.Counter c) -> Some c
+  | _ -> None
+
+let journal_kind_count sup kind =
+  Cc_obs.Journal.events (Supervisor.journal sup)
+  |> List.filter (fun (e : Cc_obs.Journal.event) -> e.kind = kind)
+  |> List.length
+
+let test_clean_run_counters_and_journal () =
+  Cc_obs.Metrics.reset ();
+  let sup = Supervisor.create ~config:quick_config ~machines:8 () in
+  emit_books sup 20;
+  Supervisor.sync sup;
+  let s = Supervisor.snapshot sup in
+  Alcotest.(check int) "zero kills" 0 s.Supervisor.kills;
+  Alcotest.(check int) "zero respawns" 0 s.Supervisor.respawns;
+  Alcotest.(check int) "zero reroutes" 0 s.Supervisor.reroutes;
+  Supervisor.shutdown sup;
+  let j = Supervisor.journal sup in
+  Alcotest.(check bool) "clean journal" true (Cc_obs.Journal.is_clean j);
+  Alcotest.(check int) "4 worker starts" 4 (journal_kind_count sup "worker_start");
+  Alcotest.(check int) "4 worker stops" 4 (journal_kind_count sup "worker_stop");
+  (* The JSONL export round-trips. *)
+  match Cc_obs.Journal.of_jsonl (Cc_obs.Journal.to_jsonl j) with
+  | Ok evs ->
+      Alcotest.(check int) "roundtrip size" (Cc_obs.Journal.length j)
+        (List.length evs)
+  | Error e -> Alcotest.failf "journal roundtrip: %s" e
+
+(* Merged worker counters must be monotone across a SIGKILL+respawn and must
+   never double-count: with a sync (= telemetry report) before the kill and
+   one after, every shard's merged [wire.books] equals its mirror's applied
+   count exactly — epoch 1 committed at the install, epoch 2 reported by the
+   respawned worker. *)
+let test_telemetry_survives_sigkill_without_double_count () =
+  Cc_obs.Metrics.reset ();
+  let sup = Supervisor.create ~config:quick_config ~machines:8 () in
+  emit_books sup 10;
+  Supervisor.sync sup;
+  Supervisor.crash_machines sup [ 0 ];
+  emit_books sup 10;
+  Supervisor.sync sup;
+  let s = Supervisor.snapshot sup in
+  Alcotest.(check int) "one kill" 1 s.Supervisor.kills;
+  Alcotest.(check bool) "healed" true (s.Supervisor.respawns >= 1);
+  for shard = 0 to 3 do
+    match counter_value (Printf.sprintf "worker.%d.wire.books" shard) with
+    | Some books ->
+        Alcotest.(check int)
+          (Printf.sprintf "shard %d books = applied, no double count" shard)
+          20 books
+    | None -> Alcotest.failf "worker.%d.wire.books missing" shard
+  done;
+  (* Journal events mirror the parent counters one for one. *)
+  Alcotest.(check int) "kill events" s.Supervisor.kills
+    (journal_kind_count sup "kill");
+  Alcotest.(check int) "respawn events" s.Supervisor.respawns
+    (journal_kind_count sup "respawn");
+  Alcotest.(check int) "reroute events" s.Supervisor.reroutes
+    (journal_kind_count sup "reroute");
+  Alcotest.(check bool) "journal not clean" false
+    (Cc_obs.Journal.is_clean (Supervisor.journal sup));
+  Supervisor.shutdown sup;
+  (* The shutdown flush must not re-add the already-merged epochs. *)
+  for shard = 0 to 3 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "shard %d stable across final flush" shard)
+      (Some 20)
+      (counter_value (Printf.sprintf "worker.%d.wire.books" shard))
+  done
+
+let test_telemetry_off_leaves_registry_clean () =
+  Cc_obs.Metrics.reset ();
+  let config = { quick_config with Supervisor.telemetry = false } in
+  let sup = Supervisor.create ~config ~machines:6 () in
+  emit_books sup 15;
+  Supervisor.sync sup;
+  Supervisor.shutdown sup;
+  let leaked =
+    Cc_obs.Metrics.snapshot ()
+    |> List.filter (fun (name, _) ->
+           String.length name >= 7 && String.sub name 0 7 = "worker.")
+  in
+  Alcotest.(check int) "no worker.* keys" 0 (List.length leaked)
+
+let test_stats_socket_serves_snapshot () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cc-stats-%d.sock" (Unix.getpid ()))
+  in
+  let config = { quick_config with Supervisor.stats_sock = Some path } in
+  let sup = Supervisor.create ~config ~machines:6 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Supervisor.shutdown sup;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      emit_books sup 3;
+      let client = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect client (Unix.ADDR_UNIX path);
+      (* The pending connection is served from the next emit/sync tick. *)
+      emit_books sup 1;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec slurp () =
+        match Unix.read client chunk 0 4096 with
+        | 0 -> ()
+        | k ->
+            Buffer.add_subbytes buf chunk 0 k;
+            slurp ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> slurp ()
+      in
+      slurp ();
+      Unix.close client;
+      match Cc_obs.Json.of_string (String.trim (Buffer.contents buf)) with
+      | Error e -> Alcotest.failf "stats snapshot not JSON: %s" e
+      | Ok v ->
+          (match Cc_obs.Json.member "machines" v with
+          | Some (Cc_obs.Json.Int 6) -> ()
+          | _ -> Alcotest.fail "machines field wrong");
+          (match
+             Option.bind
+               (Cc_obs.Json.member "workers" v)
+               Cc_obs.Json.to_list_opt
+           with
+          | Some ws -> Alcotest.(check int) "4 workers listed" 4 (List.length ws)
+          | None -> Alcotest.fail "workers field missing");
+          (match
+             Option.bind (Cc_obs.Json.member "events" v)
+               Cc_obs.Json.to_list_opt
+           with
+          | Some evs ->
+              Alcotest.(check bool) "start events present" true
+                (List.length evs > 0)
+          | None -> Alcotest.fail "events field missing"))
+
 (* --- Net-level cross-transport determinism --- *)
 
 let run_workload ?faults net =
@@ -410,6 +592,13 @@ let record_run transport ~faulty =
     | `Inproc -> None
     | `Mpproc ->
         let tr = Transport.mpproc ~machines:n () in
+        Net.set_transport net tr;
+        Some tr
+    | `Mpproc_no_telemetry ->
+        let config =
+          { Supervisor.default_config with telemetry = false }
+        in
+        let tr = Transport.mpproc ~config ~machines:n () in
         Net.set_transport net tr;
         Some tr
   in
@@ -462,6 +651,17 @@ let test_cross_transport_determinism_with_faults () =
       Alcotest.failf "expected recovered, got %a" Supervisor.pp_health h
   | None -> Alcotest.fail "no transport health"
 
+(* Zero-perturbation: telemetry on vs off must not move a single digest bit,
+   on either transport, faults included. *)
+let test_telemetry_zero_perturbation () =
+  let d_on, l_on, r_on, _ = record_run `Mpproc ~faulty:true in
+  let d_off, l_off, r_off, _ = record_run `Mpproc_no_telemetry ~faulty:true in
+  let d_in, _, _, _ = record_run `Inproc ~faulty:true in
+  Alcotest.(check string) "digest on = off" d_on d_off;
+  Alcotest.(check string) "digest mpproc = inproc" d_on d_in;
+  Alcotest.(check bool) "ledger" true (l_on = l_off);
+  Alcotest.(check (float 0.0)) "rounds" r_on r_off
+
 let test_transport_kind_parsing () =
   Alcotest.(check bool)
     "inproc" true
@@ -511,6 +711,19 @@ let () =
             test_supervisor_heals_wire_faults;
           Alcotest.test_case "degrades when unrecoverable" `Quick
             test_supervisor_degrades_when_unrecoverable;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "clean-run counters and journal" `Quick
+            test_clean_run_counters_and_journal;
+          Alcotest.test_case "sigkill merge without double count" `Quick
+            test_telemetry_survives_sigkill_without_double_count;
+          Alcotest.test_case "telemetry off leaves registry clean" `Quick
+            test_telemetry_off_leaves_registry_clean;
+          Alcotest.test_case "stats socket snapshot" `Quick
+            test_stats_socket_serves_snapshot;
+          Alcotest.test_case "zero perturbation" `Quick
+            test_telemetry_zero_perturbation;
         ] );
       ( "determinism",
         [
