@@ -790,6 +790,7 @@ let f3 () =
   let tau = 4 * n in
   let module Transport = Cc_transport.Transport in
   let module Supervisor = Cc_transport.Supervisor in
+  let module CP = Cc_obs.Critical_path in
   let table =
     Table.create
       ~title:
@@ -800,7 +801,8 @@ let f3 () =
            n tau)
       ~columns:
         [ "mode"; "rounds"; "wall (s)"; "respawns"; "reroutes"; "retries";
-          "recovery (ms)"; "events"; "worker.*"; "health" ]
+          "recovery (ms)"; "events"; "worker.*"; "cp cover %"; "cp top";
+          "health" ]
   in
   List.iter
     (fun (mode_name, mode) ->
@@ -810,6 +812,14 @@ let f3 () =
       let g = Gen.cycle n in
       let prng = Prng.create ~seed:13 in
       let net = Net.create ~n in
+      (* Distributed trace per mode: the collector must be live before the
+         transport spawns (span-id bases ride in Hello), and the root [run]
+         span closes only after shutdown's final flush — the same wiring as
+         the binaries' --trace-out. Observability-only: the rounds column
+         is the proof it doesn't perturb the run. *)
+      let tracer = Cc_obs.Trace.create () in
+      Cc_obs.Trace.install tracer;
+      Cc_obs.Trace.open_span tracer "run";
       let net =
         match mode with
         | `Kill ->
@@ -843,6 +853,20 @@ let f3 () =
       let health = tr.Transport.health () in
       let snap = tr.Transport.snapshot () in
       tr.Transport.shutdown ();
+      Cc_obs.Trace.close_span tracer;
+      Cc_obs.Trace.uninstall ();
+      let cp_cover, cp_top =
+        match CP.compute tracer with
+        | None -> (0.0, "-")
+        | Some c ->
+            ( (if c.CP.total_s > 0.0 then
+                 100.0 *. c.CP.covered_s /. c.CP.total_s
+               else 100.0),
+              match c.CP.rows with
+              | r :: _ ->
+                  Printf.sprintf "%s %.0f%%" r.CP.phase (100.0 *. r.CP.share)
+              | [] -> "-" )
+      in
       Report.observe_net ~id:"F3" net;
       let zero =
         {
@@ -882,6 +906,8 @@ let f3 () =
             ("recovery_s", Report.flt s.Supervisor.recovery_s);
             ("journal_events", Report.int journal_events);
             ("worker_metrics", Report.int worker_merged);
+            ("cp_cover", Report.flt cp_cover);
+            ("cp_top_phase", Report.str cp_top);
           ]
         wall;
       Table.add_row table
@@ -895,6 +921,8 @@ let f3 () =
           Table.cell_float ~decimals:1 (1000.0 *. s.Supervisor.recovery_s);
           Table.cell_int journal_events;
           Table.cell_int worker_merged;
+          Table.cell_float ~decimals:1 cp_cover;
+          cp_top;
           Transport.health_summary health;
         ])
     [

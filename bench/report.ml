@@ -91,6 +91,78 @@ let str s = Json.String s
 let int i = Json.Int i
 let flt x = Json.float_opt x
 
+(* Every [--json] run also appends one env-fingerprinted line to the bench
+   trajectory (default bench/HISTORY/history.jsonl, overridable or disabled
+   — set to empty — via CC_BENCH_HISTORY): timestamp, host, OCaml version,
+   domain count, transport, and per-experiment wall plus mean paper-bound
+   ratio. [ccprof history] renders the trends. Strictly best-effort: an
+   unwritable path never fails the bench run. *)
+let append_history ~fast =
+  let file =
+    match Sys.getenv_opt "CC_BENCH_HISTORY" with
+    | Some "" -> None
+    | Some p -> Some p
+    | None -> Some (Filename.concat "bench/HISTORY" "history.jsonl")
+  in
+  match file with
+  | None -> ()
+  | Some file -> (
+      let ratios : (string, float * int) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          match r with
+          | Json.Obj fields -> (
+              match
+                ( List.assoc_opt "experiment" fields,
+                  List.assoc_opt "ratio" fields )
+              with
+              | Some (Json.String id), Some (Json.Float x) ->
+                  let s, n =
+                    Option.value ~default:(0.0, 0)
+                      (Hashtbl.find_opt ratios id)
+                  in
+                  Hashtbl.replace ratios id (s +. x, n + 1)
+              | _ -> ())
+          | _ -> ())
+        !records;
+      let line =
+        Json.Obj
+          [
+            ("ts", flt (Unix.gettimeofday ()));
+            ( "host",
+              str (try Unix.gethostname () with Unix.Unix_error _ -> "?") );
+            ("ocaml", str Sys.ocaml_version);
+            ("domains", int (Cc_engine.domains (Cc_engine.get ())));
+            ( "transport",
+              str
+                (match Sys.getenv_opt "CC_TRANSPORT" with
+                | Some s when s <> "" -> s
+                | _ -> "inproc") );
+            ("fast", Json.Bool fast);
+            ( "experiments",
+              Json.List
+                (List.rev_map
+                   (fun (id, _title, wall_s) ->
+                     Json.Obj
+                       ([ ("id", str id); ("wall_s", flt wall_s) ]
+                       @
+                       match Hashtbl.find_opt ratios id with
+                       | Some (s, n) when n > 0 ->
+                           [ ("mean_ratio", flt (s /. float_of_int n)) ]
+                       | _ -> []))
+                   !experiments) );
+          ]
+      in
+      try
+        let dir = Filename.dirname file in
+        (if dir <> "." && not (Sys.file_exists dir) then
+           try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+        output_string oc (Json.to_string line);
+        output_char oc '\n';
+        close_out oc
+      with Sys_error _ | Unix.Unix_error _ -> ())
+
 let write ~fast =
   match !path with
   | None -> ()
@@ -139,4 +211,5 @@ let write ~fast =
       output_string oc (Json.to_string_pretty doc);
       output_char oc '\n';
       close_out oc;
+      append_history ~fast;
       reset ()

@@ -11,16 +11,25 @@
                            (cctree/ccreplay --health-log FILE)
      watch SOCK            live terminal view of a running mpproc
                            supervisor (cctree --stats-sock SOCK)
+     timeline FILE         merged Chrome/Perfetto JSON from a distributed
+                           trace artifact (--trace-out), one process lane
+                           per shard, optionally annotated with a health log
+     critical-path FILE    longest dependent chain across all lanes with
+                           per-phase self-time/rounds attribution
+     history FILE          per-experiment trend deltas over an appended
+                           bench trajectory (bench/HISTORY)
 
-   Exit codes: 0 ok; 1 diff found a regression (unless --warn-only) or
-   events --assert-clean saw a recovery event; 2 unreadable or malformed
-   input. *)
+   Exit codes: 0 ok; 1 diff found a regression (unless --warn-only),
+   events --assert-clean saw a recovery event, or critical-path --budget
+   saw a phase share exceeded; 2 unreadable or malformed input. *)
 
 module Json = Cc_obs.Json
 module Benchdata = Cc_obs.Benchdata
 module Profile = Cc_obs.Profile
 module Metrics = Cc_obs.Metrics
 module Journal = Cc_obs.Journal
+module Trace = Cc_obs.Trace
+module Critical_path = Cc_obs.Critical_path
 module Table = Cc_util.Table
 open Cmdliner
 
@@ -348,6 +357,182 @@ let trace_cmd =
   in
   Cmd.v info Term.(const run $ file_t $ top_t)
 
+(* --- timeline --- *)
+
+let load_trace file =
+  match Trace.of_jsonl (read_file file) with
+  | Error msg ->
+      Printf.eprintf "ccprof: %s: %s\n" file msg;
+      exit exit_bad_input
+  | Ok tr -> tr
+
+let timeline_cmd =
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let health_t =
+    let doc =
+      "Merge a supervision-event journal (cctree/ccreplay --health-log) into \
+       the supervisor lane as instant events, so respawns and reroutes show \
+       up on the timeline next to the spans they interrupted."
+    in
+    Arg.(value & opt (some file) None & info [ "health-log" ] ~doc ~docv:"FILE")
+  in
+  let out_t =
+    let doc = "Write the Chrome JSON to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc ~docv:"FILE")
+  in
+  let run file health out =
+    let tr = load_trace file in
+    (match health with
+    | None -> ()
+    | Some h -> (
+        match Journal.of_jsonl (read_file h) with
+        | Error msg ->
+            Printf.eprintf "ccprof: %s: %s\n" h msg;
+            exit exit_bad_input
+        | Ok events ->
+            (* Journal stamps are seconds since supervisor creation; the
+               artifact's are seconds since trace origin. Both clocks start
+               within the same process a few microseconds apart, so plotting
+               them on one axis is aligned to well under a heartbeat. *)
+            List.iter
+              (fun (e : Journal.event) ->
+                Trace.add_remote_event tr ~pid:Trace.local_pid
+                  {
+                    Trace.ts = e.Journal.t_s;
+                    span_id = None;
+                    kind = "journal";
+                    label =
+                      (if e.Journal.cause = "" then e.Journal.kind
+                       else e.Journal.kind ^ ": " ^ e.Journal.cause);
+                    rounds = 0.0;
+                    messages = 0;
+                    words = 0;
+                    max_load = 0;
+                    round_clock = e.Journal.round;
+                  })
+              events));
+    let json = Trace.to_chrome_json tr in
+    match out with
+    | None -> print_endline json
+    | Some path -> (
+        try
+          let oc = open_out path in
+          output_string oc json;
+          output_char oc '\n';
+          close_out oc
+        with Sys_error msg ->
+          Printf.eprintf "ccprof: %s\n" msg;
+          exit exit_bad_input)
+  in
+  let info =
+    Cmd.info "timeline"
+      ~doc:
+        "Convert a distributed trace artifact (--trace-out) into one merged \
+         Chrome/Perfetto JSON timeline: the supervisor plus one process lane \
+         per worker shard, clock-rebased, optionally annotated with the \
+         supervision journal."
+  in
+  Cmd.v info Term.(const run $ file_t $ health_t $ out_t)
+
+(* --- critical-path --- *)
+
+let critical_path_cmd =
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let budget_t =
+    let doc =
+      "Fail (exit 1) when phase $(i,NAME)'s share of the critical path \
+       exceeds $(i,FRAC) (a fraction in (0,1]). Repeatable; summed over \
+       lanes."
+    in
+    Arg.(value & opt_all string [] & info [ "budget" ] ~doc ~docv:"NAME=FRAC")
+  in
+  let warn_only_t =
+    let doc = "Report budget breaches but exit 0 anyway." in
+    Arg.(value & flag & info [ "warn-only" ] ~doc)
+  in
+  let parse_budget s =
+    match String.index_opt s '=' with
+    | None -> None
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let frac = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt frac with
+        | Some f when name <> "" && f > 0.0 && f <= 1.0 -> Some (name, f)
+        | _ -> None)
+  in
+  let run file budgets warn_only =
+    let budgets =
+      List.map
+        (fun s ->
+          match parse_budget s with
+          | Some b -> b
+          | None ->
+              Printf.eprintf
+                "ccprof: bad --budget %S (want NAME=FRAC with FRAC in (0,1])\n"
+                s;
+              exit exit_bad_input)
+        budgets
+    in
+    let tr = load_trace file in
+    match Critical_path.compute tr with
+    | None ->
+        Printf.eprintf "ccprof: %s: no completed spans\n" file;
+        exit exit_bad_input
+    | Some cp ->
+        let table =
+          Table.create
+            ~title:(Printf.sprintf "%s — critical-path attribution" file)
+            ~columns:[ "phase"; "process"; "self s"; "rounds"; "% of run" ]
+        in
+        List.iter
+          (fun (r : Critical_path.row) ->
+            Table.add_row table
+              [
+                r.Critical_path.phase;
+                r.Critical_path.process;
+                Printf.sprintf "%.4f" r.Critical_path.self_s;
+                Printf.sprintf "%.1f" r.Critical_path.rounds;
+                Printf.sprintf "%.1f" (100.0 *. r.Critical_path.share);
+              ])
+          cp.Critical_path.rows;
+        Table.print table;
+        Printf.printf
+          "end-to-end %.4f s; chain %.4f s over %d segment(s) (%.1f%% \
+           covered, %.4f s gaps)\n"
+          cp.Critical_path.total_s cp.Critical_path.covered_s
+          (List.length cp.Critical_path.chain)
+          (if cp.Critical_path.total_s > 0.0 then
+             100.0 *. cp.Critical_path.covered_s /. cp.Critical_path.total_s
+           else 100.0)
+          cp.Critical_path.gap_s;
+        let breaches =
+          List.filter_map
+            (fun (name, frac) ->
+              let s = Critical_path.share cp.Critical_path.rows ~phase:name in
+              if s > frac then Some (name, frac, s) else None)
+            budgets
+        in
+        List.iter
+          (fun (name, frac, s) ->
+            Printf.printf "BUDGET BREACH: %s holds %.1f%% of the critical \
+                           path (budget %.1f%%)\n"
+              name (100.0 *. s) (100.0 *. frac))
+          breaches;
+        if breaches <> [] && not warn_only then exit exit_regression
+  in
+  let info =
+    Cmd.info "critical-path"
+      ~doc:
+        "Extract the longest dependent chain from a distributed trace \
+         artifact (--trace-out) and attribute it per phase and per process \
+         lane; --budget gates a phase's share of the run."
+  in
+  Cmd.v info Term.(const run $ file_t $ budget_t $ warn_only_t)
+
 (* --- events --- *)
 
 let clean_kind k = String.equal k "worker_start" || String.equal k "worker_stop"
@@ -363,41 +548,52 @@ let events_cmd =
     in
     Arg.(value & flag & info [ "assert-clean" ] ~doc)
   in
-  let run file assert_clean =
+  let json_t =
+    let doc = "Print the events as a JSON array instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run file assert_clean json =
     match Journal.of_jsonl (read_file file) with
     | Error msg ->
         Printf.eprintf "ccprof: %s: %s\n" file msg;
         exit exit_bad_input
     | Ok events ->
-        let table =
-          Table.create
-            ~title:(Printf.sprintf "%s — supervision events" file)
-            ~columns:
-              [ "seq"; "t s"; "round"; "kind"; "worker"; "shard"; "attempt";
-                "budget"; "cause" ]
-        in
-        List.iter
-          (fun (e : Journal.event) ->
-            Table.add_row table
-              [
-                Table.cell_int e.Journal.seq;
-                Printf.sprintf "%.3f" e.Journal.t_s;
-                Printf.sprintf "%.0f" e.Journal.round;
-                e.Journal.kind;
-                opt_i e.Journal.worker;
-                opt_i e.Journal.shard;
-                opt_i e.Journal.attempt;
-                opt_i e.Journal.budget;
-                e.Journal.cause;
-              ])
-          events;
-        Table.print table;
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.List (List.map Journal.event_to_json events)))
+        else begin
+          let table =
+            Table.create
+              ~title:(Printf.sprintf "%s — supervision events" file)
+              ~columns:
+                [ "seq"; "t s"; "round"; "kind"; "worker"; "shard"; "attempt";
+                  "budget"; "cause" ]
+          in
+          List.iter
+            (fun (e : Journal.event) ->
+              Table.add_row table
+                [
+                  Table.cell_int e.Journal.seq;
+                  Printf.sprintf "%.3f" e.Journal.t_s;
+                  Printf.sprintf "%.0f" e.Journal.round;
+                  e.Journal.kind;
+                  opt_i e.Journal.worker;
+                  opt_i e.Journal.shard;
+                  opt_i e.Journal.attempt;
+                  opt_i e.Journal.budget;
+                  e.Journal.cause;
+                ])
+            events;
+          Table.print table
+        end;
         let recovery =
           List.filter (fun e -> not (clean_kind e.Journal.kind)) events
         in
-        Printf.printf "%d event(s), %d recovery event(s) — %s\n"
-          (List.length events) (List.length recovery)
-          (if recovery = [] then "clean run" else "recovery happened");
+        if not json then
+          Printf.printf "%d event(s), %d recovery event(s) — %s\n"
+            (List.length events) (List.length recovery)
+            (if recovery = [] then "clean run" else "recovery happened");
         if assert_clean && recovery <> [] then begin
           let e = List.hd recovery in
           Printf.eprintf
@@ -411,9 +607,10 @@ let events_cmd =
     Cmd.info "events"
       ~doc:
         "Render a supervision-event journal (cctree/ccreplay --health-log); \
-         with --assert-clean, exit 1 unless the run needed no recovery."
+         with --assert-clean, exit 1 unless the run needed no recovery; \
+         --json emits the raw events instead of the table."
   in
-  Cmd.v info Term.(const run $ file_t $ assert_clean_t)
+  Cmd.v info Term.(const run $ file_t $ assert_clean_t $ json_t)
 
 (* --- watch --- *)
 
@@ -449,6 +646,14 @@ let watch_cmd =
   let count_t =
     let doc = "Stop after $(docv) snapshots (0 = until the endpoint goes away)." in
     Arg.(value & opt int 0 & info [ "count" ] ~doc ~docv:"N")
+  in
+  let json_t =
+    let doc =
+      "Print one raw snapshot JSON object per line per poll instead of \
+       rendering the terminal view (for piping into other tools). Exit \
+       codes are unchanged."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
   in
   let fetch sock =
     match
@@ -590,7 +795,7 @@ let watch_cmd =
           evs);
     flush stdout
   in
-  let run sock once interval count =
+  let run sock once interval count json =
     if interval <= 0.0 then begin
       Printf.eprintf "ccprof: --interval must be positive\n";
       exit exit_bad_input
@@ -609,7 +814,8 @@ let watch_cmd =
             exit exit_bad_input
           end
           else begin
-            Printf.printf "endpoint %s gone — supervisor exited\n" sock;
+            if not json then
+              Printf.printf "endpoint %s gone — supervisor exited\n" sock;
             exit 0
           end
       | Some body -> (
@@ -619,7 +825,11 @@ let watch_cmd =
               exit exit_bad_input
           | Ok snap ->
               incr seen;
-              render ~clear:(not once && !seen > 1) rtt_hist q_hist snap));
+              if json then begin
+                print_endline (Json.to_string snap);
+                flush stdout
+              end
+              else render ~clear:(not once && !seen > 1) rtt_hist q_hist snap));
       if budget = 0 || !seen < budget then begin
         Unix.sleepf interval;
         loop ()
@@ -632,14 +842,144 @@ let watch_cmd =
       ~doc:
         "Live terminal view of a running mpproc supervisor: poll the stats \
          socket (cctree --stats-sock) for worker liveness, RTT and queue \
-         sparklines, and recent supervision events."
+         sparklines, and recent supervision events; --json streams the raw \
+         snapshots instead."
   in
-  Cmd.v info Term.(const run $ sock_t $ once_t $ interval_t $ count_t)
+  Cmd.v info Term.(const run $ sock_t $ once_t $ interval_t $ count_t $ json_t)
+
+(* --- history --- *)
+
+let history_cmd =
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    let lines =
+      String.split_on_char '\n' (read_file file)
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    if lines = [] then begin
+      Printf.printf "%s: no recorded runs yet\n" file;
+      exit 0
+    end;
+    let runs =
+      List.mapi
+        (fun i l ->
+          match Json.of_string l with
+          | Ok v -> v
+          | Error msg ->
+              Printf.eprintf "ccprof: %s: line %d: %s\n" file (i + 1) msg;
+              exit exit_bad_input)
+        lines
+    in
+    (* Shape gate: every line must be a history line, not just any JSON —
+       feeding some other artifact is a usage error, not an empty trend. *)
+    List.iteri
+      (fun i v ->
+        match Json.member "experiments" v with
+        | Some (Json.List _) -> ()
+        | _ ->
+            Printf.eprintf
+              "ccprof: %s: line %d: not a bench history line (missing \
+               \"experiments\" list)\n"
+              file (i + 1);
+            exit exit_bad_input)
+      runs;
+    let jstr key v =
+      Option.value ~default:"?"
+        (Option.bind (Json.member key v) Json.to_string_opt)
+    in
+    let jint key v =
+      match Json.member key v with Some (Json.Int i) -> i | _ -> 0
+    in
+    let jnum key v =
+      Option.bind (Json.member key v) Json.to_float_opt
+    in
+    let jlist key v =
+      Option.value ~default:[]
+        (Option.bind (Json.member key v) Json.to_list_opt)
+    in
+    (* (experiment id, (wall_s, mean_ratio) per run in file order) *)
+    let order = ref [] in
+    let series : (string, (float * float option) list) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun run ->
+        List.iter
+          (fun e ->
+            let id = jstr "id" e in
+            match jnum "wall_s" e with
+            | None -> ()
+            | Some wall ->
+                let prev =
+                  match Hashtbl.find_opt series id with
+                  | Some l -> l
+                  | None ->
+                      order := id :: !order;
+                      []
+                in
+                Hashtbl.replace series id
+                  (prev @ [ (wall, jnum "mean_ratio" e) ]))
+          (jlist "experiments" run))
+      runs;
+    let last = List.nth runs (List.length runs - 1) in
+    Printf.printf
+      "%s — %d run(s); last: host %s, ocaml %s, %d domain(s), transport %s%s\n"
+      file (List.length runs) (jstr "host" last) (jstr "ocaml" last)
+      (jint "domains" last) (jstr "transport" last)
+      (match Json.member "fast" last with
+      | Some (Json.Bool true) -> ", fast"
+      | _ -> "");
+    let table =
+      Table.create ~title:"per-experiment trend (wall-clock)"
+        ~columns:
+          [ "experiment"; "runs"; "first s"; "last s"; "delta %"; "trend";
+            "last ratio" ]
+    in
+    List.iter
+      (fun id ->
+        let xs = Hashtbl.find series id in
+        let walls = List.map fst xs in
+        let first = List.hd walls in
+        let last_w = List.nth walls (List.length walls - 1) in
+        let delta =
+          if first > 0.0 then 100.0 *. (last_w -. first) /. first else 0.0
+        in
+        let ratio =
+          match List.nth xs (List.length xs - 1) with
+          | _, Some r -> Printf.sprintf "%.3f" r
+          | _, None -> "-"
+        in
+        Table.add_row table
+          [
+            id;
+            Table.cell_int (List.length xs);
+            Printf.sprintf "%.4f" first;
+            Printf.sprintf "%.4f" last_w;
+            Printf.sprintf "%+.1f" delta;
+            sparkline walls;
+            ratio;
+          ])
+      (List.rev !order);
+    Table.print table
+  in
+  let info =
+    Cmd.info "history"
+      ~doc:
+        "Show per-experiment wall-clock trends over an appended bench \
+         trajectory (bench/HISTORY/history.jsonl, one env-fingerprinted \
+         JSON object per --json bench run)."
+  in
+  Cmd.v info Term.(const run $ file_t)
 
 let main =
   let doc = "Analyze cc-bench runs, load profiles, and traces offline." in
   let info = Cmd.info "ccprof" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ summary_cmd; diff_cmd; heatmap_cmd; trace_cmd; events_cmd; watch_cmd ]
+    [
+      summary_cmd; diff_cmd; heatmap_cmd; trace_cmd; timeline_cmd;
+      critical_path_cmd; history_cmd; events_cmd; watch_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -162,8 +162,21 @@ let record_cmd =
     Arg.(
       value & opt (some string) None & info [ "health-log" ] ~doc ~docv:"FILE")
   in
+  let trace_out_t =
+    let doc =
+      "Write the distributed trace artifact (JSON lines, readable by \
+       $(b,ccprof timeline) and $(b,ccprof critical-path)) to $(docv). \
+       Installs a trace collector and wraps the recorded run — transport \
+       shutdown included — in a root $(i,run) span; on mpproc with \
+       telemetry on, worker span trees merge in as per-shard process \
+       lanes. The recorded log and its digest are bit-identical with and \
+       without it — the zero-perturbation contract CI enforces."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+  in
   let run () algo family size seed drop_prob fault_seed out transport
-      no_telemetry health_log =
+      no_telemetry health_log trace_out =
     let prng = Prng.create ~seed in
     let g =
       match Gen.family_of_string family with
@@ -185,6 +198,19 @@ let record_cmd =
     let inv = Invariant.create ~machines:n () in
     ignore (Net.attach_recorder net recorder);
     ignore (Net.attach_invariant net inv);
+    (* The distributed-trace collector must be live before the transport
+       spawns: span-id bases ride in the workers' Hello frames. The root
+       [run] span is closed only after shutdown's final flush, so the
+       artifact's critical path tiles the whole recorded run. *)
+    let tracer =
+      match trace_out with
+      | None -> None
+      | Some _ ->
+          let t = Cc_obs.Trace.create () in
+          Cc_obs.Trace.install t;
+          Cc_obs.Trace.open_span t "run";
+          Some t
+    in
     let tr =
       match transport with
       | Transport.Inproc -> None
@@ -238,6 +264,14 @@ let record_cmd =
            pipelines need not special-case the transport. *)
         close_out (open_out path)
     | _ -> ());
+    (match (tracer, trace_out) with
+    | Some t, Some path ->
+        Cc_obs.Trace.close_span t;
+        Cc_obs.Trace.uninstall ();
+        let oc = open_out path in
+        output_string oc (Cc_obs.Trace.to_jsonl t);
+        close_out oc
+    | _ -> ());
     let lv = Net.ledger_violations net inv in
     let oc = open_out out in
     output_string oc (Recorder.to_jsonl recorder);
@@ -261,7 +295,8 @@ let record_cmd =
   Cmd.v info
     Term.(
       const run $ domains_t $ algo_t $ family_t $ size_t $ seed_t $ drop_t
-      $ fault_seed_t $ out_t $ transport_t $ no_telemetry_t $ health_log_t)
+      $ fault_seed_t $ out_t $ transport_t $ no_telemetry_t $ health_log_t
+      $ trace_out_t)
 
 (* --- check --- *)
 

@@ -315,6 +315,7 @@ let print_fault_summary faults net =
 
 type obs = {
   trace_file : string option;
+  trace_out : string option;  (* distributed trace artifact (JSONL) path *)
   trace_tree : bool;
   metrics : bool;
   metrics_json : string option;  (* registry JSON dump path *)
@@ -331,6 +332,18 @@ let obs_t =
        gets the JSON-lines export instead (readable by ccprof trace)."
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let trace_out_t =
+    let doc =
+      "Write the distributed trace artifact (JSON lines, readable by \
+       $(b,ccprof timeline) and $(b,ccprof critical-path)) to $(docv). \
+       Installs a trace collector and wraps the whole run — transport \
+       lifecycle included — in a root $(i,run) span; on the mpproc \
+       transport with telemetry on, worker span trees arrive on heartbeats \
+       and land in the artifact as clock-rebased per-shard process lanes."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
   in
   let tree_t =
     let doc =
@@ -377,12 +390,14 @@ let obs_t =
     in
     Arg.(value & opt (some string) None & info [ "record" ] ~doc ~docv:"FILE")
   in
-  let combine trace_file trace_tree metrics metrics_json profile record =
-    { trace_file; trace_tree; metrics; metrics_json; profile; record }
+  let combine trace_file trace_out trace_tree metrics metrics_json profile
+      record =
+    { trace_file; trace_out; trace_tree; metrics; metrics_json; profile;
+      record }
   in
   Term.(
-    const combine $ trace_t $ tree_t $ metrics_t $ metrics_json_t $ profile_t
-    $ record_t)
+    const combine $ trace_t $ trace_out_t $ tree_t $ metrics_t
+    $ metrics_json_t $ profile_t $ record_t)
 
 (* Run [f] with a trace collector installed when requested, then write the
    requested exports — including [net]'s load profile. Observability never
@@ -390,7 +405,7 @@ let obs_t =
    costs. *)
 let with_obs obs net f =
   let tr =
-    if obs.trace_file <> None || obs.trace_tree then
+    if obs.trace_file <> None || obs.trace_out <> None || obs.trace_tree then
       Some (Cc_obs.Trace.create ())
     else None
   in
@@ -417,6 +432,12 @@ let with_obs obs net f =
               (if Filename.check_suffix path ".jsonl" then
                  Cc_obs.Trace.to_jsonl t
                else Cc_obs.Trace.to_chrome_json t);
+            close_out oc
+        | None -> ());
+        (match obs.trace_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Cc_obs.Trace.to_jsonl t);
             close_out oc
         | None -> ());
         if obs.trace_tree then Format.printf "%a@?" Cc_obs.Trace.pp_tree t);
@@ -453,6 +474,13 @@ let with_obs obs net f =
         let oc = open_out path in
         output_string oc (Cc_obs.Profile.to_jsonl (Net.obs_profile net));
         close_out oc
+  in
+  (* The artifact gets a root [run] span covering everything — including
+     transport shutdown, whose final status poll flushes the last worker
+     trees — so the critical-path chain can tile end-to-end wall. *)
+  let f =
+    if obs.trace_out <> None then fun () -> Cc_obs.Trace.with_span "run" f
+    else f
   in
   Fun.protect ~finally:finish f
 

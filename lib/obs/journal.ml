@@ -124,6 +124,12 @@ let of_jsonl s =
   in
   let rec go acc lineno = function
     | [] -> Ok (List.rev acc)
+    | [ l ] when Result.is_error (Json.of_string l) && acc <> [] ->
+        (* Torn tail: a journal whose writer was killed mid-append ends in a
+           truncated line that isn't JSON at all. Salvage the clean prefix.
+           A *parseable* line of the wrong shape still errors below — that
+           distinguishes truncation from feeding a non-journal file. *)
+        Ok (List.rev acc)
     | l :: rest ->
         let* v =
           match Json.of_string l with

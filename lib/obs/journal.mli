@@ -75,5 +75,8 @@ val event_of_json : Json.t -> (event, string) result
 val to_jsonl : t -> string
 
 (** [of_jsonl s] parses a journal export back into events. The error names
-    the first offending line. *)
+    the first offending line — except a final line that is not JSON at all,
+    which is treated as a torn tail (the writer died mid-append) and
+    dropped, provided at least one clean event precedes it. A parseable
+    line of the wrong shape still errors, wherever it sits. *)
 val of_jsonl : string -> (event list, string) result

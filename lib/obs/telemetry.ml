@@ -18,10 +18,13 @@ type shard_wire = {
 }
 
 type report = {
+  ts : float;
   gc : gc_stats;
   registry : (string * Metrics.value) list;
   spans : span_agg list;
   shards : shard_wire list;
+  trees : Trace.span list;
+  events : Trace.event list;
 }
 
 let capture_gc () =
@@ -55,23 +58,30 @@ let capture_spans () =
         (Trace.roots t);
       List.rev_map (fun n -> !(Hashtbl.find tbl n)) !order
 
-let capture ~shards () =
+let capture ?spans ?(trees = []) ?(events = []) ~shards () =
   {
+    ts = Unix.gettimeofday ();
     gc = capture_gc ();
     registry =
       List.filter
         (fun (name, _) ->
           not (String.length name >= 7 && String.sub name 0 7 = "worker."))
         (Metrics.snapshot ());
-    spans = capture_spans ();
+    spans = (match spans with Some s -> s | None -> capture_spans ());
     shards;
+    trees;
+    events;
   }
 
 (* --- wire form --- *)
 
 let to_json r =
   Json.Obj
-    [
+    ([
+      (* hex-float so the parent's offset estimator sees the exact bits the
+         worker stamped (the emitter's decimal floats quantize epoch-scale
+         timestamps). *)
+      ("ts", Json.String (Printf.sprintf "%h" r.ts));
       ( "gc",
         Json.Obj
           [
@@ -110,6 +120,14 @@ let to_json r =
                  ])
              r.shards) );
     ]
+    @ (match r.trees with
+      | [] -> []
+      | trees -> [ ("trees", Json.List (List.map Trace.span_to_json trees)) ])
+    @
+    match r.events with
+    | [] -> []
+    | events ->
+        [ ("events", Json.List (List.map Trace.event_to_json events)) ])
 
 let of_json v =
   let ( let* ) = Result.bind in
@@ -196,7 +214,41 @@ let of_json v =
         in
         go [] l
   in
-  Ok { gc; registry; spans; shards }
+  (* "ts"/"trees"/"events" postdate the first wire revision: default when
+     absent so old frames still decode. *)
+  let ts =
+    match Json.member "ts" v with
+    | Some (Json.String s) -> ( try float_of_string s with _ -> Float.nan)
+    | Some j -> Option.value ~default:Float.nan (Json.to_float_opt j)
+    | None -> Float.nan
+  in
+  let* trees =
+    match Option.bind (Json.member "trees" v) Json.to_list_opt with
+    | None -> Ok []
+    | Some l ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | s :: rest -> (
+              match Trace.span_of_json s with
+              | Ok sp -> go (sp :: acc) rest
+              | Error e -> Error ("telemetry: " ^ e))
+        in
+        go [] l
+  in
+  let* events =
+    match Option.bind (Json.member "events" v) Json.to_list_opt with
+    | None -> Ok []
+    | Some l ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | s :: rest -> (
+              match Trace.event_of_json s with
+              | Ok ev -> go (ev :: acc) rest
+              | Error e -> Error ("telemetry: " ^ e))
+        in
+        go [] l
+  in
+  Ok { ts; gc; registry; spans; shards; trees; events }
 
 (* --- parent-side merge --- *)
 

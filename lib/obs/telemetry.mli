@@ -5,8 +5,13 @@
     multi-process transport worker records is invisible to the parent unless
     shipped over the wire. A {!report} is one worker's self-snapshot — GC
     stats, its local metrics registry, completed top-level trace-span
-    aggregates, and per-shard wire health — piggybacked on the transport's
-    [Status] heartbeat reply (see {!Cc_transport.Wire}).
+    aggregates, per-shard wire health, and (when tracing is active) the
+    complete span trees and net events drained from the worker's collector
+    since the previous report — piggybacked on the transport's [Status]
+    heartbeat reply (see {!Cc_transport.Wire}). The supervisor rebases the
+    drained trees into its own clock and merges them as process lanes (see
+    {!Trace}); the flattened aggregates additionally feed the metric
+    namespace below.
 
     {b Epoch semantics.} A worker resets its registry and wire stats at every
     [Install] (initial spawn, respawn-from-checkpoint, reroute), so each
@@ -58,17 +63,40 @@ type shard_wire = {
 }
 
 type report = {
+  ts : float;
+      (** sender's [Unix.gettimeofday] at capture — the sample the parent's
+          clock-offset estimator works from (NaN when absent on the wire). *)
   gc : gc_stats;
   registry : (string * Metrics.value) list;  (** local registry snapshot. *)
   spans : span_agg list;
   shards : shard_wire list;
+  trees : Trace.span list;
+      (** complete span trees drained since the previous report
+          ({!Trace.drain_roots}) — the distributed-trace payload. Worker
+          timestamps; the parent rebases them. *)
+  events : Trace.event list;
+      (** net events drained since the previous report
+          ({!Trace.drain_events}). *)
 }
 
 (** [capture ~shards ()] snapshots the calling process: [Gc.quick_stat], the
     {!Metrics} registry (entries already under [worker.] are excluded), and
     the active {!Trace} collector's completed root spans, combined with the
-    caller-supplied per-shard wire stats. *)
-val capture : shards:shard_wire list -> unit -> report
+    caller-supplied per-shard wire stats. [ts] is stamped from
+    [Unix.gettimeofday].
+
+    [?spans] overrides the span-aggregate capture — a worker that {e drains}
+    its collector for tree shipping keeps its own cumulative aggregates
+    (draining would otherwise make each report's aggregates partial, and the
+    parent merge treats them as cumulative-within-epoch). [?trees] and
+    [?events] (default empty) attach drained trace payloads. *)
+val capture :
+  ?spans:span_agg list ->
+  ?trees:Trace.span list ->
+  ?events:Trace.event list ->
+  shards:shard_wire list ->
+  unit ->
+  report
 
 (** {1 Wire form} *)
 

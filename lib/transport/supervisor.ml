@@ -65,6 +65,11 @@ type wslot = {
   mutable conn : conn option;
   mutable respawns_used : int;
   mutable last_rtt_ms : float;  (* last status-poll round trip; nan = none *)
+  (* Estimated worker-clock -> parent-clock offset (seconds), EWMA-smoothed
+     over heartbeat samples: offset = poll midpoint - worker report stamp,
+     good to +-RTT/2 (DESIGN.md section 13). NaN until the first telemetry
+     reply; reset on respawn (a new process, a new estimate). *)
+  mutable clock_offset : float;
 }
 
 type shardrec = {
@@ -86,6 +91,10 @@ type t = {
   wire_prng : Prng.t option;
   journal : Journal.t;
   merge : Telemetry.Merge.t;
+  (* Next parent-assigned span-id base. Every spawn (respawns included) gets
+     a disjoint [span_stride]-wide namespace, so ids in the merged trace
+     never collide across processes or process generations. *)
+  mutable next_span_base : int;
   mutable stats_fd : Unix.file_descr option;
   mutable s_rounds : float;
   mutable s_books : int;
@@ -168,6 +177,8 @@ let kill_conn c =
   close_conn c;
   reap c.pid
 
+let span_stride = 1 lsl 30
+
 let spawn t wid =
   let parent_fd, child_fd =
     Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
@@ -181,9 +192,20 @@ let spawn t wid =
   | pid ->
       Unix.close child_fd;
       let c = { pid; fd = parent_fd } in
+      (* Worker tracing only pays off when the parent has a collector to
+         merge into; without one, don't ask for trees (span_base = -1). *)
+      let span_base =
+        if t.config.telemetry && Trace.enabled () then begin
+          let b = t.next_span_base in
+          t.next_span_base <- b + span_stride;
+          b
+        end
+        else -1
+      in
       Wire.write_frame c.fd
         (Wire.encode
-           (Wire.Hello { worker = wid; telemetry = t.config.telemetry }));
+           (Wire.Hello
+              { worker = wid; telemetry = t.config.telemetry; span_base }));
       c
   | exception e ->
       (try Unix.close parent_fd with Unix.Unix_error _ -> ());
@@ -286,6 +308,7 @@ let recover_slot t slot =
         match spawn t slot.wid with
         | c ->
             slot.conn <- Some c;
+            slot.clock_offset <- Float.nan (* new process, new clock *);
             slot.respawns_used <- slot.respawns_used + 1;
             t.s_respawns <- t.s_respawns + 1;
             Metrics.incr "transport.respawns";
@@ -328,11 +351,60 @@ let recover_slot t slot =
     Metrics.observe "transport.recovery_ms" (1000.0 *. dt)
   end
 
+(* Deliver a worker report's drained span trees and events into the parent
+   collector as per-shard process lanes, rebased by the slot's clock-offset
+   estimate. A tree lands in the lane of the shard named in its root span's
+   args; trees without one (and all events) go to the report's first shard.
+   Pure observability: only the parent collector is touched. *)
+let merge_remote_trace slot shards (r : Telemetry.report) =
+  match Trace.current () with
+  | None -> ()
+  | Some parent_tr ->
+      let offset =
+        if Float.is_nan slot.clock_offset then 0.0 else slot.clock_offset
+      in
+      let fallback =
+        match r.Telemetry.shards with
+        | sw :: _ -> Some sw.Telemetry.shard
+        | [] -> ( match shards with (id, _, _) :: _ -> Some id | [] -> None)
+      in
+      let lane_of (sp : Trace.span) =
+        match
+          Option.bind
+            (List.assoc_opt "shard" sp.Trace.args)
+            int_of_string_opt
+        with
+        | Some s -> Some s
+        | None -> fallback
+      in
+      let deliver ~shard add =
+        match shard with
+        | None -> ()
+        | Some s ->
+            add ~pid:(Trace.local_pid + 1 + s)
+              ~process:(Printf.sprintf "shard %d" s)
+      in
+      List.iter
+        (fun sp ->
+          deliver ~shard:(lane_of sp) (fun ~pid ~process ->
+              Trace.add_remote_span parent_tr ~pid ~process
+                (Trace.rebase_span ~offset sp)))
+        r.Telemetry.trees;
+      List.iter
+        (fun ev ->
+          deliver ~shard:fallback (fun ~pid ~process ->
+              Trace.add_remote_event parent_tr ~pid ~process
+                (Trace.rebase_event ~offset ev)))
+        r.Telemetry.events
+
 (* One status poll with an absolute deadline. [`Status shards] on success.
    When telemetry is on, a successful poll also feeds the parent registry:
    the poll round trip becomes a [worker.<shard>.wire.rtt_ms] observation
-   for every shard the worker reported, and the attached worker report goes
-   through the epoch-aware merge. *)
+   for every shard the worker reported, the report's capture stamp updates
+   the slot's clock-offset estimate (offset = poll midpoint - worker stamp,
+   smoothed; error bound +-RTT/2), the attached worker report goes through
+   the epoch-aware merge, and any shipped span trees are rebased into the
+   parent clock and merged as process lanes. *)
 let poll_status t slot ~timeout =
   let t0 = Unix.gettimeofday () in
   if not (send_ctl slot (Wire.encode Wire.Status_req)) then `Dead
@@ -350,7 +422,8 @@ let poll_status t slot ~timeout =
               match Wire.decode payload with
               | Ok (Wire.Status { shards; tele }) ->
                   if t.config.telemetry then begin
-                    let rtt_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+                    let now = Unix.gettimeofday () in
+                    let rtt_ms = 1000.0 *. (now -. t0) in
                     slot.last_rtt_ms <- rtt_ms;
                     List.iter
                       (fun (id, _, _) ->
@@ -358,7 +431,30 @@ let poll_status t slot ~timeout =
                           (Printf.sprintf "worker.%d.wire.rtt_ms" id)
                           rtt_ms)
                       shards;
-                    Option.iter (Telemetry.Merge.observe t.merge) tele
+                    Option.iter
+                      (fun (r : Telemetry.report) ->
+                        if not (Float.is_nan r.Telemetry.ts) then begin
+                          (* The worker stamped its report somewhere inside
+                             our [t0, now] window; the midpoint estimator is
+                             off by at most RTT/2. *)
+                          let sample =
+                            ((t0 +. now) /. 2.0) -. r.Telemetry.ts
+                          in
+                          slot.clock_offset <-
+                            (if Float.is_nan slot.clock_offset then sample
+                             else
+                               (0.7 *. slot.clock_offset) +. (0.3 *. sample));
+                          List.iter
+                            (fun (id, _, _) ->
+                              Metrics.observe
+                                (Printf.sprintf
+                                   "worker.%d.wire.clock_offset_ms" id)
+                                (1000.0 *. slot.clock_offset))
+                            shards
+                        end;
+                        Telemetry.Merge.observe t.merge r;
+                        merge_remote_trace slot shards r)
+                      tele
                   end;
                   `Status shards
               | Ok _ | Error _ -> read ())
@@ -506,6 +602,8 @@ let stats_json t =
                        | None -> Json.Null );
                      ("respawns_used", Json.Int s.respawns_used);
                      ("rtt_ms", Json.float_opt s.last_rtt_ms);
+                     ( "clock_offset_ms",
+                       Json.float_opt (1000.0 *. s.clock_offset) );
                      ( "shards",
                        Json.List
                          (shards_owned t s.wid
@@ -696,7 +794,13 @@ let create ?(config = default_config) ~machines () =
       exe = Sys.executable_name;
       slots =
         Array.init workers (fun wid ->
-            { wid; conn = None; respawns_used = 0; last_rtt_ms = Float.nan });
+            {
+              wid;
+              conn = None;
+              respawns_used = 0;
+              last_rtt_ms = Float.nan;
+              clock_offset = Float.nan;
+            });
       shards =
         Array.init workers (fun i ->
             let lo = i * machines / workers
@@ -715,6 +819,9 @@ let create ?(config = default_config) ~machines () =
          else None);
       journal = Journal.create ~cap:config.journal_cap ();
       merge = Telemetry.Merge.create ();
+      (* Base 1: the parent's own collector starts at [first_id] 0 and is
+         confined below [span_stride] in any practical run. *)
+      next_span_base = span_stride;
       stats_fd = None;
       s_rounds = 0.0;
       s_books = 0;

@@ -30,7 +30,19 @@
     book, and the supervisor draws its wire-fault randomness from a private
     seeded stream — so same seeds give the same ledger and chain digest on
     both transports, which is the contract the cross-transport CI diff
-    enforces. *)
+    enforces.
+
+    {b Distributed tracing.} When telemetry is on and the parent process has
+    an active {!Cc_obs.Trace} collector at spawn time, each worker's [Hello]
+    carries a disjoint span-id base and the worker ships its complete span
+    trees on every heartbeat (see {!Worker}). The supervisor estimates each
+    worker's clock offset from the heartbeat round trip (offset = poll
+    midpoint − worker report stamp, EWMA-smoothed, re-estimated after a
+    respawn; error bound ±RTT/2 — DESIGN.md §13), rebases remote timestamps
+    into its own clock, and merges the trees into the parent collector as
+    one process lane per shard — so a single merged trace holds the whole
+    system, ready for [ccprof timeline] / [critical-path]. All of it is
+    observability-only: no randomness, no ledger, no transport state. *)
 
 type config = {
   workers : int;  (** worker processes to shard the machines across. *)

@@ -22,7 +22,7 @@ type shard_state = {
 }
 
 type msg =
-  | Hello of { worker : int; telemetry : bool }
+  | Hello of { worker : int; telemetry : bool; span_base : int }
   | Install of shard_state
   | Book of { shard : int; seq : int; book : book }
   | Status_req
@@ -86,13 +86,14 @@ let json_of_state s =
     ]
 
 let encode = function
-  | Hello { worker; telemetry } ->
+  | Hello { worker; telemetry; span_base } ->
       Json.to_string
         (Json.Obj
            [
              ("t", Json.String "hello");
              ("worker", Json.Int worker);
              ("telemetry", Json.Bool telemetry);
+             ("span_base", Json.Int span_base);
            ])
   | Install s -> Json.to_string (json_of_state s)
   | Book { shard; seq; book } ->
@@ -212,7 +213,13 @@ let decode s =
         | Some (Json.Bool b) -> b
         | _ -> true
       in
-      Ok (Hello { worker; telemetry })
+      (* Missing base (older parent) means no worker-side tracing. *)
+      let span_base =
+        match Json.member "span_base" v with
+        | Some (Json.Int i) -> i
+        | _ -> -1
+      in
+      Ok (Hello { worker; telemetry; span_base })
   | "install" ->
       let* st = state_of_json v in
       Ok (Install st)

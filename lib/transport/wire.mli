@@ -48,10 +48,16 @@ type shard_state = {
 }
 
 type msg =
-  | Hello of { worker : int; telemetry : bool }
+  | Hello of { worker : int; telemetry : bool; span_base : int }
       (** parent -> worker: identity, sent once. [telemetry] tells the worker
           whether to attach a {!Cc_obs.Telemetry} report to its [Status]
-          replies (absent on the wire decodes as [true]). *)
+          replies (absent on the wire decodes as [true]). [span_base >= 0]
+          tells a telemetry-enabled worker to install a local {!Cc_obs.Trace}
+          collector whose span ids start there — the parent hands every
+          spawn a disjoint base so merged distributed traces never collide —
+          and to ship its drained span trees in each report; [-1] (the
+          decode default when absent, i.e. an older parent) disables worker
+          tracing. *)
   | Install of shard_state
       (** parent -> worker: create, restore (respawn) or adopt (reroute) a
           shard from a checkpoint. Replaces any existing state for the id.

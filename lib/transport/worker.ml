@@ -1,7 +1,13 @@
 module Metrics = Cc_obs.Metrics
 module Telemetry = Cc_obs.Telemetry
+module Trace = Cc_obs.Trace
 
 let argv_marker = "__cc-transport-worker"
+
+(* Close a [worker.books] batch after this many applied books even if the
+   shard hasn't changed, so long phases still ship incrementally sized
+   spans on each heartbeat. *)
+let batch_cap = 1024
 
 (* Per-shard wire health, counted since the last [Install] (the telemetry
    epoch boundary). *)
@@ -38,6 +44,65 @@ let serve ~input ~output =
       stats []
     |> List.sort (fun a b -> compare a.Telemetry.shard b.Telemetry.shard)
   in
+  (* Distributed tracing (Hello span_base >= 0): a local collector whose
+     span ids start at the parent-assigned base. [worker.books] batch spans
+     are message-driven — opened on the first applied book, closed on shard
+     change / batch cap / the next heartbeat — so span boundaries are
+     manual, not lexical. *)
+  let tracer = ref None in
+  let batch = ref None (* (shard, count ref) of the open batch span *) in
+  let close_batch () =
+    match (!tracer, !batch) with
+    | Some tr, Some (_, count) ->
+        Trace.close_span ~args:[ ("books", string_of_int !count) ] tr;
+        batch := None
+    | _ -> ()
+  in
+  let batch_book shard =
+    match !tracer with
+    | None -> ()
+    | Some tr -> (
+        (match !batch with
+        | Some (s, count) when s = shard && !count < batch_cap ->
+            incr count
+        | Some _ ->
+            close_batch ();
+            Trace.open_span tr
+              ~args:[ ("shard", string_of_int shard) ]
+              "worker.books";
+            batch := Some (shard, ref 1)
+        | None ->
+            Trace.open_span tr
+              ~args:[ ("shard", string_of_int shard) ]
+              "worker.books";
+            batch := Some (shard, ref 1)))
+  in
+  (* Cumulative span aggregates for the telemetry report: draining the
+     collector for tree shipping would make [Telemetry.capture]'s own
+     root-span fold partial per report, and the parent epoch merge needs
+     cumulative-within-epoch values. Reset at [Install] (epoch boundary). *)
+  let agg : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 16 in
+  let agg_order = ref [] in
+  let fold_spans trees =
+    List.iter
+      (fun (sp : Trace.span) ->
+        let wall = sp.Trace.stop_ts -. sp.Trace.start_ts in
+        match Hashtbl.find_opt agg sp.Trace.name with
+        | Some r ->
+            let calls, w = !r in
+            r := (calls + 1, w +. wall)
+        | None ->
+            Hashtbl.replace agg sp.Trace.name (ref (1, wall));
+            agg_order := sp.Trace.name :: !agg_order)
+      trees
+  in
+  let agg_report () =
+    List.rev_map
+      (fun n ->
+        let calls, wall_s = !(Hashtbl.find agg n) in
+        { Telemetry.name = n; calls; wall_s })
+      !agg_order
+  in
   let running = ref true in
   while !running do
     match Wire.read_frame input with
@@ -53,13 +118,28 @@ let serve ~input ~output =
         Metrics.incr ~by:(String.length payload) "wire.bytes_in";
         match Wire.decode payload with
         | Error _ -> () (* undecodable payload: same story as a bad frame *)
-        | Ok (Wire.Hello h) -> telemetry := h.telemetry
+        | Ok (Wire.Hello h) ->
+            telemetry := h.telemetry;
+            if h.telemetry && h.span_base >= 0 && !tracer = None then begin
+              let tr = Trace.create ~first_id:h.span_base () in
+              Trace.install tr;
+              tracer := Some tr
+            end
         | Ok (Wire.Install st) ->
             (* An install opens a fresh telemetry epoch: the parent commits
                everything this worker reported so far, so the local registry
                and wire stats restart from zero — a respawned or rerouted
                worker never re-reports pre-checkpoint counts. *)
+            close_batch ();
+            (match !tracer with
+            | Some tr ->
+                Trace.open_span tr
+                  ~args:[ ("shard", string_of_int st.Wire.shard) ]
+                  "worker.install"
+            | None -> ());
             Metrics.reset ();
+            Hashtbl.reset agg;
+            agg_order := [];
             Hashtbl.iter
               (fun _ (s : wstats) ->
                 s.books <- 0;
@@ -68,13 +148,17 @@ let serve ~input ~output =
                 s.installs <- 0)
               stats;
             Hashtbl.replace shards st.Wire.shard (Shard.of_state st);
-            (stat st.Wire.shard).installs <- 1
+            (stat st.Wire.shard).installs <- 1;
+            (match !tracer with
+            | Some tr -> Trace.close_span tr
+            | None -> ())
         | Ok (Wire.Book { shard; seq; book }) -> (
             match Hashtbl.find_opt shards shard with
             | Some s -> (
                 let w = stat shard in
                 match Shard.apply s ~seq book with
                 | Shard.Applied ->
+                    batch_book shard;
                     w.books <- w.books + 1;
                     w.bytes_in <- w.bytes_in + String.length payload
                 | Shard.Gap -> w.gaps <- w.gaps + 1)
@@ -88,8 +172,21 @@ let serve ~input ~output =
               |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
             in
             let tele =
-              if !telemetry then
-                Some (Telemetry.capture ~shards:(wire_report ()) ())
+              if !telemetry then begin
+                let spans, trees, events =
+                  match !tracer with
+                  | None -> (None, [], [])
+                  | Some tr ->
+                      close_batch ();
+                      let trees = Trace.drain_roots tr in
+                      let events = Trace.drain_events tr in
+                      fold_spans trees;
+                      (Some (agg_report ()), trees, events)
+                in
+                Some
+                  (Telemetry.capture ?spans ~trees ~events
+                     ~shards:(wire_report ()) ())
+              end
               else None
             in
             let encoded = Wire.encode (Wire.Status { shards = report; tele }) in

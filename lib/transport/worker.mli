@@ -18,7 +18,22 @@
     aggregates, and per-shard wire health. The registry and wire stats are
     reset at every [Install] — each install opens a fresh telemetry epoch,
     which is what lets the parent's monotone merge survive respawn/reroute
-    without double-counting (see {!Cc_obs.Telemetry.Merge}). *)
+    without double-counting (see {!Cc_obs.Telemetry.Merge}).
+
+    {b Distributed tracing.} When the [Hello] additionally carries a
+    non-negative [span_base], the worker installs a local {!Cc_obs.Trace}
+    collector whose span ids start at that base (parent-assigned, disjoint
+    per spawn, so merged ids never collide) and records its work as spans:
+    [worker.books] batches of applied [Book]s (one batch per contiguous run
+    on a shard, closed at shard change, batch cap, or the next status poll;
+    args carry the shard and final count) and [worker.install] for each
+    checkpoint install. Every [Status] reply then ships the collector's
+    {e complete} drained span trees and net events inside the telemetry
+    report — each completed span leaves the worker exactly once — while the
+    report's flattened span aggregates come from a worker-kept cumulative
+    accumulator (reset at [Install]) so the epoch merge still sees
+    cumulative values. The supervisor's final pre-[Shutdown] status poll is
+    the flush that collects whatever the last heartbeat missed. *)
 
 (** [serve ~input ~output] runs the message loop until EOF or [Shutdown].
     Returns normally on a clean shutdown. *)

@@ -28,6 +28,24 @@ let counter_clock () =
     t := !t +. 1.0;
     !t
 
+(* A hand-built completed span — what a transport worker would ship. *)
+let mkspan ?(id = 7) ?(name = "w") ?(args = []) ?(depth = 0) ~start ~stop
+    ?(rounds = 2.5) ?(children = []) () =
+  {
+    Trace.id;
+    name;
+    args;
+    depth;
+    start_ts = start;
+    stop_ts = stop;
+    alloc_words = 0.0;
+    net_rounds = rounds;
+    net_messages = 3;
+    net_words = 9;
+    net_max_load = 4;
+    children;
+  }
+
 (* --- Trace: span tree shape and determinism --------------------------- *)
 
 let test_span_tree_shape () =
@@ -104,6 +122,152 @@ let test_disabled_is_transparent () =
   Trace.net_event ~kind:"charge" ~label:"x" ~rounds:1.0 ~messages:0 ~words:0
     ~round_clock:1.0 ();
   Alcotest.(check (option reject)) "still no collector" None (Trace.current ())
+
+(* --- Trace: distributed reconstruction --------------------------------- *)
+
+let test_trace_drain_exactly_once () =
+  let base = 1 lsl 30 in
+  let t = Trace.create ~clock:(counter_clock ()) ~first_id:base () in
+  Trace.with_trace t (fun () ->
+      Trace.with_span "a" (fun () ->
+          Trace.net_event ~kind:"exchange" ~label:"x" ~rounds:1.0 ~messages:2
+            ~words:4 ~round_clock:1.0 ());
+      Trace.with_span "b" (fun () -> ()));
+  (match Trace.drain_roots t with
+  | [ a; b ] ->
+      Alcotest.(check int) "parent-assigned id base" base a.Trace.id;
+      Alcotest.(check bool) "ids ascend from base" true (b.Trace.id > base)
+  | l -> Alcotest.failf "expected 2 roots, got %d" (List.length l));
+  Alcotest.(check int) "second drain empty" 0
+    (List.length (Trace.drain_roots t));
+  Alcotest.(check int) "events drained once" 1
+    (List.length (Trace.drain_events t));
+  Alcotest.(check int) "events gone" 0 (List.length (Trace.drain_events t));
+  (* A span still open at drain time stays and completes later — the
+     heartbeat-shipping contract. *)
+  Trace.open_span t "late";
+  Alcotest.(check int) "open span survives the drain" 0
+    (List.length (Trace.drain_roots t));
+  Trace.close_span t;
+  Alcotest.(check int) "and ships on the next one" 1
+    (List.length (Trace.drain_roots t))
+
+let test_trace_lanes_and_rebase () =
+  let t = Trace.create ~clock:(counter_clock ()) () in
+  Trace.with_trace t (fun () -> Trace.with_span "local" (fun () -> ()));
+  let base = 1 lsl 30 in
+  let w =
+    mkspan ~id:base ~start:10.0 ~stop:12.0
+      ~children:[ mkspan ~id:(base + 1) ~depth:1 ~start:10.5 ~stop:11.0 () ]
+      ()
+  in
+  (* The supervisor rebases into its own clock before delivery. *)
+  Trace.add_remote_span t ~pid:2 ~process:"shard 0"
+    (Trace.rebase_span ~offset:(-10.0) w);
+  Trace.add_remote_event t ~pid:2
+    (Trace.rebase_event ~offset:(-10.0)
+       {
+         Trace.ts = 10.25;
+         span_id = Some base;
+         kind = "exchange";
+         label = "x";
+         rounds = 1.0;
+         messages = 2;
+         words = 4;
+         max_load = 3;
+         round_clock = 7.0;
+       });
+  match Trace.lanes t with
+  | [ (p1, n1, local_roots, _); (2, "shard 0", [ w' ], [ ev' ]) ] ->
+      Alcotest.(check int) "local lane first" Trace.local_pid p1;
+      Alcotest.(check string) "local lane name" "main" n1;
+      Alcotest.(check (list string))
+        "local roots intact" [ "local" ]
+        (List.map (fun (s : Trace.span) -> s.Trace.name) local_roots);
+      Alcotest.(check (float 0.0)) "root rebased" 0.0 w'.Trace.start_ts;
+      Alcotest.(check (float 0.0)) "subtree rebased" 0.5
+        (List.hd w'.Trace.children).Trace.start_ts;
+      Alcotest.(check (float 0.0)) "event rebased" 0.25 ev'.Trace.ts;
+      Alcotest.(check int) "remote ids preserved" base w'.Trace.id
+  | lanes -> Alcotest.failf "expected 2 lanes, got %d" (List.length lanes)
+
+let test_trace_span_codec_exact () =
+  (* The wire codec must round-trip exact float bits: timestamps serialize
+     as hex floats precisely because the pretty emitters quantize. *)
+  let start = 0x1.123456789abcdp20 and stop = 0x1.123456789abcep20 in
+  let sp =
+    mkspan ~id:3 ~name:"worker.books"
+      ~args:[ ("shard", "1"); ("books", "17") ]
+      ~start ~stop
+      ~children:[ mkspan ~id:4 ~depth:1 ~start ~stop () ]
+      ()
+  in
+  (match Trace.span_of_json (Trace.span_to_json sp) with
+  | Error e -> Alcotest.failf "span roundtrip: %s" e
+  | Ok sp' ->
+      Alcotest.(check bool) "start bits exact" true (sp'.Trace.start_ts = start);
+      Alcotest.(check bool) "stop bits exact" true (sp'.Trace.stop_ts = stop);
+      Alcotest.(check (list (pair string string)))
+        "args" sp.Trace.args sp'.Trace.args;
+      Alcotest.(check int) "children ride along" 1
+        (List.length sp'.Trace.children));
+  let ev =
+    {
+      Trace.ts = start;
+      span_id = Some 3;
+      kind = "broadcast";
+      label = "b";
+      rounds = 1.5;
+      messages = 4;
+      words = 8;
+      max_load = 2;
+      round_clock = 9.0;
+    }
+  in
+  match Trace.event_of_json (Trace.event_to_json ev) with
+  | Error e -> Alcotest.failf "event roundtrip: %s" e
+  | Ok ev' ->
+      Alcotest.(check bool) "event ts exact" true (ev'.Trace.ts = start);
+      Alcotest.(check (option int)) "span id" (Some 3) ev'.Trace.span_id
+
+let test_trace_of_jsonl_roundtrip () =
+  let t = Trace.create ~clock:(counter_clock ()) () in
+  Trace.with_trace t (fun () ->
+      Trace.with_span "run" (fun () ->
+          Trace.with_span "inner" ~args:[ ("k", "v") ] (fun () -> ());
+          Trace.net_event ~kind:"exchange" ~label:"x" ~rounds:1.0 ~messages:2
+            ~words:4 ~round_clock:1.0 ()));
+  Trace.add_remote_span t ~pid:2 ~process:"shard 0"
+    (mkspan ~id:(1 lsl 30) ~start:0.5 ~stop:1.5 ());
+  let artifact = Trace.to_jsonl t in
+  (match Trace.of_jsonl artifact with
+  | Error e -> Alcotest.failf "of_jsonl: %s" e
+  | Ok t' ->
+      let shape tr =
+        List.map
+          (fun (pid, name, roots, evs) ->
+            ( pid,
+              name,
+              List.map
+                (fun (s : Trace.span) ->
+                  ( s.Trace.name,
+                    List.length s.Trace.children,
+                    s.Trace.stop_ts -. s.Trace.start_ts ))
+                roots,
+              List.length evs ))
+          (Trace.lanes tr)
+      in
+      Alcotest.(check bool) "lanes, trees, walls survive" true
+        (shape t = shape t');
+      (* reconstructed ids stay unique and the chrome export still works *)
+      (match Json.of_string (Trace.to_chrome_json t') with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "chrome after reload: %s" e));
+  match Trace.of_jsonl "{\"type\":\"span\"}\nnot json\n" with
+  | Error e ->
+      Alcotest.(check bool) "error names the line" true
+        (contains_substring ~needle:"line 1" e)
+  | Ok _ -> Alcotest.fail "garbage must not reload"
 
 (* --- Net attribution --------------------------------------------------- *)
 
@@ -222,8 +386,11 @@ let test_jsonl_export () =
     String.split_on_char '\n' (Trace.to_jsonl t)
     |> List.filter (fun l -> l <> "")
   in
-  (* 2 spans + 2 net events, one object per line. *)
-  Alcotest.(check int) "one object per record" 4 (List.length lines);
+  (* 1 process-lane header + 2 spans + 2 net events, one object per line. *)
+  Alcotest.(check int) "one object per record" 5 (List.length lines);
+  Alcotest.(check bool) "lane header first" true
+    (contains_substring ~needle:{|"type":"process"|} (List.hd lines)
+    || contains_substring ~needle:{|"type": "process"|} (List.hd lines));
   List.iter
     (fun l ->
       Alcotest.(check bool) "line is an object" true
@@ -282,6 +449,96 @@ let test_span_tracks_max_load () =
         "events carry per-primitive loads" [ 9; 4 ]
         (List.map (fun (e : Trace.event) -> e.Trace.max_load) (Trace.events t))
   | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_chrome_export_escapes_args () =
+  (* Span args are user/caller data: quotes, control characters, and
+     non-BMP text must all survive into parseable Chrome JSON. *)
+  let quote = {|say "hi"|} and ctl = "a\x01\tb" and emoji = "\xf0\x9f\x98\x80" in
+  let t = Trace.create ~clock:(counter_clock ()) () in
+  Trace.with_trace t (fun () ->
+      Trace.with_span "phase"
+        ~args:[ ("quote", quote); ("ctl", ctl); ("emoji", emoji) ]
+        (fun () -> ()));
+  let out = Trace.to_chrome_json t in
+  match Json.of_string out with
+  | Error e -> Alcotest.failf "chrome json must reparse: %s" e
+  | Ok doc ->
+      let evs =
+        Option.value ~default:[]
+          (Option.bind (Json.member "traceEvents" doc) Json.to_list_opt)
+      in
+      let span =
+        List.find
+          (fun e -> Json.member "name" e = Some (Json.String "phase"))
+          evs
+      in
+      let arg k =
+        Option.bind
+          (Option.bind (Json.member "args" span) (Json.member k))
+          Json.to_string_opt
+      in
+      Alcotest.(check (option string)) "quotes survive" (Some quote)
+        (arg "quote");
+      Alcotest.(check (option string)) "control chars survive" (Some ctl)
+        (arg "ctl");
+      Alcotest.(check (option string)) "non-BMP text survives" (Some emoji)
+        (arg "emoji")
+
+(* --- Critical path ------------------------------------------------------ *)
+
+module CP = Cc_obs.Critical_path
+
+let test_critical_path_crosses_lanes () =
+  let t = Trace.create ~clock:(fun () -> 0.0) () in
+  (* Local lane: run [0,10] with child a [1,3]. Shard lane: w [4,9]. The
+     chain must be run / a / run / w / run — self time, never inclusive. *)
+  Trace.add_remote_span t ~pid:Trace.local_pid
+    (mkspan ~id:0 ~name:"run" ~start:0.0 ~stop:10.0
+       ~children:[ mkspan ~id:1 ~name:"a" ~depth:1 ~start:1.0 ~stop:3.0 () ]
+       ());
+  Trace.add_remote_span t ~pid:2 ~process:"shard 0"
+    (mkspan ~id:(1 lsl 30) ~name:"w" ~start:4.0 ~stop:9.0 ());
+  match CP.compute t with
+  | None -> Alcotest.fail "expected a chain"
+  | Some cp ->
+      Alcotest.(check (float 1e-9)) "total" 10.0 cp.CP.total_s;
+      Alcotest.(check (float 1e-9)) "fully covered" 10.0 cp.CP.covered_s;
+      Alcotest.(check (float 1e-9)) "no gaps" 0.0 cp.CP.gap_s;
+      Alcotest.(check (list string))
+        "chain order"
+        [ "run"; "a"; "run"; "w"; "run" ]
+        (List.map (fun (s : CP.segment) -> s.name) cp.CP.chain);
+      let row name = List.find (fun (r : CP.row) -> r.phase = name) cp.CP.rows in
+      Alcotest.(check (float 1e-9)) "run self" 3.0 (row "run").CP.self_s;
+      Alcotest.(check (float 1e-9)) "a self" 2.0 (row "a").CP.self_s;
+      Alcotest.(check (float 1e-9)) "w self" 5.0 (row "w").CP.self_s;
+      (match cp.CP.rows with
+      | top :: _ -> Alcotest.(check string) "largest first" "w" top.CP.phase
+      | [] -> Alcotest.fail "no rows");
+      Alcotest.(check (float 1e-9)) "share sums lanes" 0.3
+        (CP.share cp.CP.rows ~phase:"run");
+      Alcotest.(check int) "shard lane pid" 2 (row "w").CP.pid;
+      Alcotest.(check string) "shard lane name" "shard 0" (row "w").CP.process;
+      (* self-rounds: run's 2.5 are all inside child a, so a carries them *)
+      Alcotest.(check (float 1e-9)) "run self-rounds" 0.0 (row "run").CP.rounds;
+      Alcotest.(check (float 1e-9)) "a self-rounds" 2.5 (row "a").CP.rounds
+
+let test_critical_path_gap_and_empty () =
+  let t = Trace.create ~clock:(fun () -> 0.0) () in
+  Alcotest.(check bool) "no spans -> None" true (CP.compute t = None);
+  Trace.add_remote_span t ~pid:Trace.local_pid
+    (mkspan ~id:0 ~name:"a" ~start:0.0 ~stop:2.0 ());
+  Trace.add_remote_span t ~pid:Trace.local_pid
+    (mkspan ~id:1 ~name:"b" ~start:5.0 ~stop:8.0 ());
+  match CP.compute t with
+  | None -> Alcotest.fail "chain expected"
+  | Some cp ->
+      Alcotest.(check (float 1e-9)) "total spans idle time" 8.0 cp.CP.total_s;
+      Alcotest.(check (float 1e-9)) "covered" 5.0 cp.CP.covered_s;
+      Alcotest.(check (float 1e-9)) "gap accounted" 3.0 cp.CP.gap_s;
+      Alcotest.(check (list string))
+        "chain skips the gap" [ "a"; "b" ]
+        (List.map (fun (s : CP.segment) -> s.name) cp.CP.chain)
 
 (* --- Json -------------------------------------------------------------- *)
 
@@ -786,6 +1043,9 @@ let test_telemetry_merge_epochs () =
       registry;
       spans = [];
       shards = [ wire ~books 0 ];
+      ts = Float.nan;
+      trees = [];
+      events = [];
     }
   in
   (* Within one epoch reports are cumulative: observing 5 then 8 publishes
@@ -811,6 +1071,42 @@ let test_telemetry_merge_epochs () =
     (report ~registry:[ ("wire.frames_in", Metrics.Counter 4) ] 0);
   Alcotest.(check int) "registry namespaced" 4
     (get_counter "worker.0.m.wire.frames_in");
+  Metrics.reset ()
+
+let test_telemetry_ships_trees () =
+  Metrics.reset ();
+  let tree =
+    mkspan ~id:(1 lsl 30) ~name:"phase_walk"
+      ~args:[ ("level", "3") ]
+      ~start:0x1.8p10 ~stop:0x1.9p10
+      ~children:[ mkspan ~id:((1 lsl 30) + 1) ~name:"level" ~depth:1
+                    ~start:0x1.84p10 ~stop:0x1.88p10 () ]
+      ()
+  in
+  let ev =
+    { Trace.ts = 0x1.85p10; span_id = Some (1 lsl 30); kind = "exchange";
+      label = "walk"; rounds = 1.0; messages = 4; words = 16; max_load = 4;
+      round_clock = 7.0 }
+  in
+  let r = Telemetry.capture ~trees:[ tree ] ~events:[ ev ] ~shards:[] () in
+  Alcotest.(check bool) "ts stamped" true (Float.is_finite r.Telemetry.ts);
+  (match Telemetry.of_json (Telemetry.to_json r) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok r' -> (
+      (match r'.Telemetry.trees with
+      | [ t ] ->
+          Alcotest.(check bool) "tree timestamps exact" true
+            (t.Trace.start_ts = 0x1.8p10 && t.Trace.stop_ts = 0x1.9p10);
+          Alcotest.(check int) "tree ids survive" (1 lsl 30) t.Trace.id;
+          Alcotest.(check int) "children survive" 1
+            (List.length t.Trace.children)
+      | l -> Alcotest.failf "expected 1 tree, got %d" (List.length l));
+      match r'.Telemetry.events with
+      | [ e ] ->
+          Alcotest.(check bool) "event ts exact" true (e.Trace.ts = 0x1.85p10);
+          Alcotest.(check (option int)) "event span link" (Some (1 lsl 30))
+            e.Trace.span_id
+      | l -> Alcotest.failf "expected 1 event, got %d" (List.length l)));
   Metrics.reset ()
 
 (* --- Journal ----------------------------------------------------------- *)
@@ -859,6 +1155,50 @@ let test_journal_bounded () =
   | e :: _ -> Alcotest.(check int) "oldest dropped first" 6 e.Journal.seq
   | [] -> Alcotest.fail "empty");
   Alcotest.(check bool) "clean (only starts)" true (Journal.is_clean j)
+
+let test_journal_drop_oldest_boundary () =
+  (* Exercise the capacity edge exactly: nothing drops at cap, the single
+     oldest event drops at cap+1. *)
+  let j = Journal.create ~cap:4 ~clock:(fun () -> 0.0) () in
+  for i = 0 to 3 do
+    Journal.record j ~worker:i "worker_start"
+  done;
+  Alcotest.(check int) "full, nothing dropped" 0 (Journal.dropped j);
+  Alcotest.(check int) "length at cap" 4 (Journal.length j);
+  (match Journal.events j with
+  | e :: _ -> Alcotest.(check int) "seq 0 still present" 0 e.Journal.seq
+  | [] -> Alcotest.fail "empty");
+  Journal.record j ~worker:4 "worker_start";
+  Alcotest.(check int) "one over cap drops one" 1 (Journal.dropped j);
+  Alcotest.(check int) "length still cap" 4 (Journal.length j);
+  match Journal.events j with
+  | first :: _ as evs ->
+      Alcotest.(check int) "head advanced to seq 1" 1 first.Journal.seq;
+      let last = List.nth evs (List.length evs - 1) in
+      Alcotest.(check int) "newest retained" 4 last.Journal.seq
+  | [] -> Alcotest.fail "empty"
+
+let test_journal_reload_torn_tail () =
+  (* A crash mid-write leaves a truncated final line; reload must salvage
+     the intact prefix. A line that parses as JSON but has the wrong shape
+     is corruption, not a torn tail, and must still error. *)
+  let j = Journal.create ~clock:(fun () -> 1.0) () in
+  Journal.record j ~worker:0 ~cause:"spawn" "worker_start";
+  Journal.record j ~worker:1 ~cause:"spawn" "worker_start";
+  Journal.record j ~worker:1 ~cause:"status poll timeout" "heartbeat_timeout";
+  let whole = Journal.to_jsonl j in
+  let torn = String.sub whole 0 (String.length whole - 15) in
+  (match Journal.of_jsonl torn with
+  | Error e -> Alcotest.failf "torn tail must salvage: %s" e
+  | Ok evs ->
+      Alcotest.(check int) "intact prefix kept" 2 (List.length evs);
+      Alcotest.(check string) "last intact event" "worker_start"
+        (List.nth evs 1).Journal.kind);
+  match Journal.of_jsonl (whole ^ "{\"x\":0}\n") with
+  | Ok _ -> Alcotest.fail "well-formed wrong-shape line must error"
+  | Error e ->
+      Alcotest.(check bool) "error names the line" true
+        (contains_substring ~needle:"line 4" e)
 
 (* --- Json emitter escaping (round-trips through the parser) ------------ *)
 
@@ -1140,6 +1480,21 @@ let () =
             test_with_span_closes_on_exception;
           Alcotest.test_case "disabled tracing is transparent" `Quick
             test_disabled_is_transparent;
+          Alcotest.test_case "drain ships each tree exactly once" `Quick
+            test_trace_drain_exactly_once;
+          Alcotest.test_case "lanes and timestamp rebase" `Quick
+            test_trace_lanes_and_rebase;
+          Alcotest.test_case "span wire codec is lossless" `Quick
+            test_trace_span_codec_exact;
+          Alcotest.test_case "artifact of_jsonl roundtrip" `Quick
+            test_trace_of_jsonl_roundtrip;
+        ] );
+      ( "critical-path",
+        [
+          Alcotest.test_case "chain crosses process lanes" `Quick
+            test_critical_path_crosses_lanes;
+          Alcotest.test_case "gaps and empty traces" `Quick
+            test_critical_path_gap_and_empty;
         ] );
       ( "net",
         [
@@ -1163,6 +1518,8 @@ let () =
             test_event_overflow_keeps_span_totals;
           Alcotest.test_case "spans track peak per-machine load" `Quick
             test_span_tracks_max_load;
+          Alcotest.test_case "chrome args escaping" `Quick
+            test_chrome_export_escapes_args;
         ] );
       ( "json",
         [
@@ -1254,11 +1611,17 @@ let () =
             test_telemetry_capture_and_roundtrip;
           Alcotest.test_case "epoch-aware merge" `Quick
             test_telemetry_merge_epochs;
+          Alcotest.test_case "span trees and events ride reports" `Quick
+            test_telemetry_ships_trees;
         ] );
       ( "journal",
         [
           Alcotest.test_case "record and roundtrip" `Quick
             test_journal_record_and_roundtrip;
           Alcotest.test_case "bounded drop-oldest" `Quick test_journal_bounded;
+          Alcotest.test_case "drop-oldest capacity boundary" `Quick
+            test_journal_drop_oldest_boundary;
+          Alcotest.test_case "torn-tail reload" `Quick
+            test_journal_reload_torn_tail;
         ] );
     ]

@@ -43,15 +43,27 @@ let roundtrip m =
   | Error e -> Alcotest.failf "decode failed: %s" e
 
 let test_codec_roundtrip () =
-  (match roundtrip (Wire.Hello { worker = 3; telemetry = false }) with
-  | Wire.Hello { worker; telemetry } ->
+  (match
+     roundtrip (Wire.Hello { worker = 3; telemetry = false; span_base = -1 })
+   with
+  | Wire.Hello { worker; telemetry; span_base } ->
       Alcotest.(check int) "worker" 3 worker;
-      Alcotest.(check bool) "telemetry flag" false telemetry
+      Alcotest.(check bool) "telemetry flag" false telemetry;
+      Alcotest.(check int) "span base off" (-1) span_base
   | _ -> Alcotest.fail "wrong variant");
-  (* A hello without the flag (older peer) defaults to telemetry on. *)
+  (match
+     roundtrip
+       (Wire.Hello { worker = 0; telemetry = true; span_base = 1 lsl 30 })
+   with
+  | Wire.Hello { span_base; _ } ->
+      Alcotest.(check int) "span base" (1 lsl 30) span_base
+  | _ -> Alcotest.fail "wrong variant");
+  (* A hello without the flags (older peer) defaults to telemetry on and
+     tracing off. *)
   (match Wire.decode "{\"t\":\"hello\",\"worker\":1}" with
-  | Ok (Wire.Hello { telemetry; _ }) ->
-      Alcotest.(check bool) "telemetry default" true telemetry
+  | Ok (Wire.Hello { telemetry; span_base; _ }) ->
+      Alcotest.(check bool) "telemetry default" true telemetry;
+      Alcotest.(check int) "span base default" (-1) span_base
   | _ -> Alcotest.fail "bare hello must decode");
   (* A fractional round count that needs all 17 significant digits: the wire
      must round-trip the exact bits (the digest folds them). *)
@@ -112,6 +124,9 @@ let test_codec_roundtrip () =
       spans = [ { name = "serve"; calls = 1; wall_s = 0.25 } ];
       shards =
         [ { shard = 0; books = 5; gaps = 1; bytes_in = 640; installs = 1 } ];
+      ts = 0x1.5p20;
+      trees = [];
+      events = [];
     }
   in
   (match
@@ -124,7 +139,10 @@ let test_codec_roundtrip () =
       Alcotest.(check int) "tele registry" 1
         (List.length r.Cc_obs.Telemetry.registry);
       Alcotest.(check int) "tele shard books" 5
-        (List.hd r.Cc_obs.Telemetry.shards).Cc_obs.Telemetry.books
+        (List.hd r.Cc_obs.Telemetry.shards).Cc_obs.Telemetry.books;
+      (* The report stamp rides as a hex float — exact bits survive. *)
+      Alcotest.(check bool) "tele ts exact" true
+        (r.Cc_obs.Telemetry.ts = 0x1.5p20)
   | _ -> Alcotest.fail "telemetry lost in transit");
   (match roundtrip Wire.Status_req with
   | Wire.Status_req -> ()
@@ -271,7 +289,7 @@ let test_worker_protocol () =
           ignore (Unix.waitpid [] pid))
         (fun () ->
           let mirror = Shard.create ~id:0 ~lo:0 ~hi:3 in
-          send (Wire.Hello { worker = 0; telemetry = true });
+          send (Wire.Hello { worker = 0; telemetry = true; span_base = -1 });
           send (Wire.Install (Shard.to_state mirror));
           let b1 = book ~sent:[| 1; 2; 3 |] ~recv:[| 3; 2; 1 |] () in
           let b2 = book ~label:"second" ~rounds:(4.0 /. 7.0) () in
@@ -662,6 +680,64 @@ let test_telemetry_zero_perturbation () =
   Alcotest.(check bool) "ledger" true (l_on = l_off);
   Alcotest.(check (float 0.0)) "rounds" r_on r_off
 
+(* Distributed tracing: with a parent collector installed, worker span trees
+   ride Status heartbeats plus the final pre-shutdown flush and land as
+   per-shard process lanes, ids drawn from the parent-assigned disjoint
+   namespaces. *)
+let test_remote_trees_become_lanes () =
+  Cc_obs.Metrics.reset ();
+  let tr = Cc_obs.Trace.create () in
+  Cc_obs.Trace.install tr;
+  Fun.protect ~finally:Cc_obs.Trace.uninstall (fun () ->
+      let sup = Supervisor.create ~config:quick_config ~machines:8 () in
+      emit_books sup 40;
+      Supervisor.sync sup;
+      Supervisor.shutdown sup);
+  let shard_lanes =
+    Cc_obs.Trace.lanes tr
+    |> List.filter (fun (pid, _, _, _) -> pid <> Cc_obs.Trace.local_pid)
+  in
+  Alcotest.(check int) "one lane per shard" 4 (List.length shard_lanes);
+  let ids : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let spans = ref 0 in
+  List.iter
+    (fun (pid, pname, roots, _) ->
+      Alcotest.(check bool) "lane pid above supervisor's" true
+        (pid > Cc_obs.Trace.local_pid);
+      Alcotest.(check bool) "lane named after its shard" true
+        (String.length pname >= 5 && String.sub pname 0 5 = "shard");
+      let rec walk (sp : Cc_obs.Trace.span) =
+        incr spans;
+        Alcotest.(check bool) "remote id outside the parent namespace" true
+          (sp.Cc_obs.Trace.id >= 1 lsl 30);
+        Alcotest.(check bool) "span id globally unique" false
+          (Hashtbl.mem ids sp.Cc_obs.Trace.id);
+        Hashtbl.replace ids sp.Cc_obs.Trace.id ();
+        List.iter walk sp.Cc_obs.Trace.children
+      in
+      List.iter walk roots)
+    shard_lanes;
+  Alcotest.(check bool) "worker spans shipped" true (!spans > 0)
+
+(* Tracing must be invisible to the computation: a parent collector changes
+   the Hello handshake (span bases) and adds tree payloads to every Status,
+   yet the digest must not move a bit. *)
+let test_tracing_zero_perturbation () =
+  let d_plain, l_plain, r_plain, _ = record_run `Mpproc ~faulty:true in
+  let tr = Cc_obs.Trace.create () in
+  Cc_obs.Trace.install tr;
+  let d_traced, l_traced, r_traced, _ =
+    Fun.protect ~finally:Cc_obs.Trace.uninstall (fun () ->
+        record_run `Mpproc ~faulty:true)
+  in
+  Alcotest.(check string) "digest traced = untraced" d_plain d_traced;
+  Alcotest.(check bool) "ledger" true (l_plain = l_traced);
+  Alcotest.(check (float 0.0)) "rounds" r_plain r_traced;
+  Alcotest.(check bool) "and the trace did capture remote lanes" true
+    (List.exists
+       (fun (pid, _, _, _) -> pid <> Cc_obs.Trace.local_pid)
+       (Cc_obs.Trace.lanes tr))
+
 let test_transport_kind_parsing () =
   Alcotest.(check bool)
     "inproc" true
@@ -724,6 +800,13 @@ let () =
             test_stats_socket_serves_snapshot;
           Alcotest.test_case "zero perturbation" `Quick
             test_telemetry_zero_perturbation;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "remote trees become lanes" `Quick
+            test_remote_trees_become_lanes;
+          Alcotest.test_case "tracing zero perturbation" `Quick
+            test_tracing_zero_perturbation;
         ] );
       ( "determinism",
         [
