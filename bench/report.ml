@@ -10,7 +10,12 @@
    Schema cc-bench/3 adds a top-level [engine] object: the domain count the
    run executed with plus the strong-scaling speedup measured by P1 (null
    when P1 did not run). Wall-clock rows carry no [bound], so they never
-   produce ratios and the ccprof diff gate stays hardware-independent. *)
+   produce ratios and the ccprof diff gate stays hardware-independent.
+
+   Schema cc-bench/4 adds per-record statistical-quality columns: rows may
+   carry a flat numeric "quality" object (audit-plane TV / KL / max-z / ESS,
+   written by Q1 via [quality]) that Benchdata aggregates and ccprof summary
+   renders. *)
 
 module Json = Cc_obs.Json
 
@@ -91,6 +96,11 @@ let str s = Json.String s
 let int i = Json.Int i
 let flt x = Json.float_opt x
 
+(* [quality kvs] packages audit-plane measurements as the cc-bench/4
+   "quality" extra for [record]: [~extra:[quality [("tv", tv); ...]]]. *)
+let quality kvs =
+  ("quality", Json.Obj (List.map (fun (k, x) -> (k, Json.float_opt x)) kvs))
+
 (* Every [--json] run also appends one env-fingerprinted line to the bench
    trajectory (default bench/HISTORY/history.jsonl, overridable or disabled
    — set to empty — via CC_BENCH_HISTORY): timestamp, host, OCaml version,
@@ -170,7 +180,7 @@ let write ~fast =
       let doc =
         Json.Obj
           [
-            ("schema", Json.String "cc-bench/3");
+            ("schema", Json.String "cc-bench/4");
             ("fast", Json.Bool fast);
             ( "engine",
               Json.Obj

@@ -18,10 +18,14 @@
                            per-phase self-time/rounds attribution
      history FILE          per-experiment trend deltas over an appended
                            bench trajectory (bench/HISTORY)
+     audit FILE            statistical audit verdicts (cctree --audit /
+                           ccreplay record --audit): gate table, worst-edge
+                           ranking, convergence sparklines
 
    Exit codes: 0 ok; 1 diff found a regression (unless --warn-only),
-   events --assert-clean saw a recovery event, or critical-path --budget
-   saw a phase share exceeded; 2 unreadable or malformed input. *)
+   events --assert-clean saw a recovery event, critical-path --budget
+   saw a phase share exceeded, or audit saw a statistical breach;
+   2 unreadable or malformed input. *)
 
 module Json = Cc_obs.Json
 module Benchdata = Cc_obs.Benchdata
@@ -72,7 +76,7 @@ let summary_doc path doc =
            (if doc.Benchdata.fast then " (fast)" else ""))
       ~columns:
         [ "experiment"; "rows"; "mean ratio"; "worst ratio"; "wall s";
-          "max load"; "imbalance" ]
+          "max load"; "imbalance"; "quality" ]
   in
   List.iter
     (fun a ->
@@ -86,6 +90,11 @@ let summary_doc path doc =
           opt_f 2 e.Benchdata.wall_s;
           opt_i e.Benchdata.max_load;
           opt_f 2 e.Benchdata.imbalance;
+          (match a.Benchdata.quality with
+          | [] -> "-"
+          | q ->
+              String.concat " "
+                (List.map (fun (k, x) -> Printf.sprintf "%s=%.3g" k x) q));
         ])
     aggs;
   Table.print table;
@@ -850,16 +859,22 @@ let watch_cmd =
 (* --- history --- *)
 
 let history_cmd =
+  (* [string], not [file]: an absent history file means "no runs recorded
+     yet" — a normal state for a fresh checkout, not a usage error. *)
   let file_t =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
   in
   let run file =
+    if not (Sys.file_exists file) then begin
+      Printf.printf "%s: no history\n" file;
+      exit 0
+    end;
     let lines =
       String.split_on_char '\n' (read_file file)
       |> List.filter (fun l -> String.trim l <> "")
     in
     if lines = [] then begin
-      Printf.printf "%s: no recorded runs yet\n" file;
+      Printf.printf "%s: no history\n" file;
       exit 0
     end;
     let runs =
@@ -973,13 +988,165 @@ let history_cmd =
   in
   Cmd.v info Term.(const run $ file_t)
 
+(* --- audit --- *)
+
+let audit_cmd =
+  let module Audit = Cc_audit.Audit in
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let warn_only_t =
+    let doc = "Report statistical breaches but exit 0 anyway." in
+    Arg.(value & flag & info [ "warn-only" ] ~doc)
+  in
+  let assert_t =
+    let doc =
+      "Additionally fail (exit 1) when the artifact is inconclusive: no \
+       verdict line, or zero audited trees. The strict form the CI \
+       statistical gate uses."
+    in
+    Arg.(value & flag & info [ "assert" ] ~doc)
+  in
+  let top_t =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~doc:"Worst edges (by |z|) to rank." ~docv:"K")
+  in
+  let run file warn_only assert_ top =
+    match Audit.of_jsonl (read_file file) with
+    | Error msg ->
+        Printf.eprintf "ccprof: %s: %s\n" file msg;
+        exit exit_bad_input
+    | Ok r ->
+        Printf.printf
+          "%s — audit of %d tree(s) on n=%d, m=%d (alpha %g); ESS %.1f, \
+           edge-marginal TV %.4f, KL %.5f\n"
+          file r.Audit.r_trials r.Audit.r_n r.Audit.r_m r.Audit.r_alpha
+          r.Audit.r_ess r.Audit.r_tv_edges r.Audit.r_kl_edges;
+        if r.Audit.r_invalid > 0 || r.Audit.r_skipped > 0 then
+          Printf.printf "invalid trees %d, skipped (graph mismatch) %d\n"
+            r.Audit.r_invalid r.Audit.r_skipped;
+        (match r.Audit.r_verdict with
+        | None -> ()
+        | Some v ->
+            let table =
+              Table.create
+                ~title:
+                  (Printf.sprintf "gates — verdict %s at %d tree(s)"
+                     (if v.Audit.pass then "PASS" else "FAIL")
+                     v.Audit.at_trials)
+                ~columns:
+                  [ "gate"; "statistic"; "threshold"; "verdict"; "detail" ]
+            in
+            List.iter
+              (fun (g : Audit.gate) ->
+                Table.add_row table
+                  [
+                    g.Audit.gate;
+                    Printf.sprintf "%.3f" g.Audit.statistic;
+                    Printf.sprintf "%.3f" g.Audit.threshold;
+                    (if not g.Audit.applied then "abstained"
+                     else if g.Audit.breached then "BREACH"
+                     else "ok");
+                    g.Audit.detail;
+                  ])
+              v.Audit.gates;
+            Table.print table);
+        (match r.Audit.r_small with
+        | None -> ()
+        | Some s ->
+            Printf.printf
+              "exact distribution: support %d (observed %d, foreign %d), \
+               TV %.4f, KL %.5f, chi2 %.2f\n"
+              s.Audit.support s.Audit.observed_support s.Audit.foreign
+              s.Audit.r_small_tv s.Audit.r_small_kl s.Audit.r_small_chi2);
+        let worst =
+          List.sort
+            (fun (a : Audit.edge_stat) b ->
+              compare (Float.abs b.Audit.z) (Float.abs a.Audit.z))
+            (List.filter (fun (e : Audit.edge_stat) -> not e.Audit.bridge)
+               r.Audit.r_edges)
+        in
+        if worst <> [] then begin
+          let table =
+            Table.create ~title:"worst edges by |z|"
+              ~columns:[ "edge"; "leverage"; "empirical"; "count"; "z" ]
+          in
+          List.iteri
+            (fun i (e : Audit.edge_stat) ->
+              if i < top then
+                Table.add_row table
+                  [
+                    Printf.sprintf "%d-%d" e.Audit.u e.Audit.v;
+                    Printf.sprintf "%.4f" e.Audit.leverage;
+                    (if r.Audit.r_trials > 0 then
+                       Printf.sprintf "%.4f"
+                         (float_of_int e.Audit.count
+                         /. float_of_int r.Audit.r_trials)
+                     else "-");
+                    Table.cell_int e.Audit.count;
+                    Printf.sprintf "%+.2f" e.Audit.z;
+                  ])
+            worst;
+          Table.print table
+        end;
+        (match r.Audit.r_snapshots with
+        | [] -> ()
+        | snaps ->
+            let line name f =
+              let xs = List.map f snaps in
+              if List.exists (fun x -> Float.is_finite x && x > 0.0) xs then
+                Printf.printf "%-10s %s (at %d..%d trees)\n" name
+                  (sparkline xs)
+                  (List.hd snaps).Audit.at
+                  (List.nth snaps (List.length snaps - 1)).Audit.at
+            in
+            line "max |z|" (fun s -> s.Audit.s_max_z);
+            line "edge TV" (fun s -> s.Audit.s_tv);
+            (match (List.hd snaps).Audit.s_small_tv with
+            | Some _ ->
+                line "exact TV" (fun s ->
+                    Option.value ~default:Float.nan s.Audit.s_small_tv)
+            | None -> ()));
+        let inconclusive =
+          r.Audit.r_verdict = None || r.Audit.r_trials = 0
+        in
+        let breach =
+          match r.Audit.r_verdict with
+          | Some v -> not v.Audit.pass
+          | None -> false
+        in
+        if breach then begin
+          Printf.printf "STATISTICAL BREACH: the sampler failed the audit%s\n"
+            (if warn_only then " (warn-only)" else "");
+          if not warn_only then exit exit_regression
+        end;
+        if assert_ && inconclusive then begin
+          Printf.eprintf
+            "ccprof: %s: inconclusive audit (%s)\n" file
+            (if r.Audit.r_trials = 0 then "zero audited trees"
+             else "no verdict line");
+          exit exit_regression
+        end
+  in
+  let info =
+    Cmd.info "audit"
+      ~doc:
+        "Render a statistical audit artifact (cctree --audit FILE / ccreplay \
+         record --audit FILE): gate verdicts against the exact \
+         leverage-score oracle, worst-edge ranking, convergence sparklines. \
+         Exit 1 on a statistical breach unless --warn-only; --assert also \
+         fails inconclusive artifacts."
+  in
+  Cmd.v info Term.(const run $ file_t $ warn_only_t $ assert_t $ top_t)
+
 let main =
   let doc = "Analyze cc-bench runs, load profiles, and traces offline." in
   let info = Cmd.info "ccprof" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       summary_cmd; diff_cmd; heatmap_cmd; trace_cmd; timeline_cmd;
-      critical_path_cmd; history_cmd; events_cmd; watch_cmd;
+      critical_path_cmd; history_cmd; events_cmd; watch_cmd; audit_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -175,8 +175,18 @@ let record_cmd =
     Arg.(
       value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
   in
+  let audit_t =
+    let doc =
+      "Attach the statistical auditor to the recorded workload and write \
+       the JSONL audit artifact to $(docv) (readable by $(b,ccprof audit)); \
+       the verdict summary goes to stderr. Zero-perturbation: the recorded \
+       log and its digest are byte-identical with and without this flag — \
+       part of the contract CI checks with $(b,ccreplay diff)."
+    in
+    Arg.(value & opt (some string) None & info [ "audit" ] ~doc ~docv:"FILE")
+  in
   let run () algo family size seed drop_prob fault_seed out transport
-      no_telemetry health_log trace_out =
+      no_telemetry health_log trace_out audit =
     let prng = Prng.create ~seed in
     let g =
       match Gen.family_of_string family with
@@ -225,6 +235,14 @@ let record_cmd =
           Net.set_transport net tr;
           Some tr
     in
+    let auditor =
+      match audit with
+      | None -> None
+      | Some path ->
+          let a = Cc_audit.Audit.create g in
+          Cc_audit.Audit.install a;
+          Some (path, a)
+    in
     (match String.lowercase_ascii algo with
     | "sample" -> ignore (Sampler.sample net prng g)
     | "doubling" ->
@@ -232,6 +250,19 @@ let record_cmd =
     | a ->
         Printf.eprintf "ccreplay: unknown workload %S\n" a;
         exit exit_bad_input);
+    (* The audit trailer goes to stderr for the same reason the transport
+       trailer does: stdout and the log must stay byte-identical. *)
+    (match auditor with
+    | None -> ()
+    | Some (path, a) ->
+        Cc_audit.Audit.uninstall ();
+        let oc = open_out path in
+        output_string oc (Cc_audit.Audit.to_jsonl a);
+        close_out oc;
+        let v = Cc_audit.Audit.verdict a in
+        Printf.eprintf "# audit: %s after %d tree(s) -> %s\n"
+          (if v.Cc_audit.Audit.pass then "PASS" else "FAIL")
+          v.Cc_audit.Audit.at_trials path);
     (* Transport health and the journal trailer go to stderr: stdout (and
        the log itself) must be byte-identical across transports. *)
     (match tr with
@@ -296,7 +327,7 @@ let record_cmd =
     Term.(
       const run $ domains_t $ algo_t $ family_t $ size_t $ seed_t $ drop_t
       $ fault_seed_t $ out_t $ transport_t $ no_telemetry_t $ health_log_t
-      $ trace_out_t)
+      $ trace_out_t $ audit_t)
 
 (* --- check --- *)
 

@@ -511,6 +511,24 @@ let load_graph ?weights ~family ~size ~file ~prng () =
 let print_tree tree =
   List.iter (fun (u, v) -> Printf.printf "%d %d\n" u v) (Tree.edges tree)
 
+(* --- audit summary (stderr, so stdout stays byte-identical) --- *)
+
+let print_audit_summary a =
+  let module Audit = Cc_audit.Audit in
+  let v = Audit.verdict a in
+  Format.eprintf "# audit: %s after %d tree(s); max |z| %.2f (threshold %.2f)%s@."
+    (if v.Audit.pass then "PASS" else "FAIL")
+    v.Audit.at_trials (Audit.max_z a) (Audit.z_threshold a)
+    (match Audit.small_tv a with
+    | Some tv -> Printf.sprintf "; exact-distribution TV %.4f" tv
+    | None -> "");
+  List.iter
+    (fun g ->
+      if g.Audit.applied && g.Audit.breached then
+        Format.eprintf "# audit breach: %s (%.3f > %.3f) — %s@." g.Audit.gate
+          g.Audit.statistic g.Audit.threshold g.Audit.detail)
+    v.Audit.gates
+
 (* --- sample --- *)
 
 let sample_cmd =
@@ -536,16 +554,42 @@ let sample_cmd =
     let doc =
       "Sampler: cc (the Theorem 2 distributed sampler), sequential (the \
        Section 1.2 phased reference), ab (Aldous-Broder), wilson, updown \
-       (basis-exchange MCMC), determinantal (leverage-score chain rule)."
+       (basis-exchange MCMC), determinantal (leverage-score chain rule), \
+       biased (a deliberately wrong rejection sampler — the negative fixture \
+       the audit plane must reject)."
     in
     Arg.(value & opt string "cc" & info [ "method" ] ~doc)
   in
+  let audit_t =
+    let doc =
+      "Attach the statistical auditor: accumulate per-edge inclusion counts \
+       across the sampled trees and compare them against the exact \
+       leverage-score marginals (plus the full tree distribution on small \
+       instances). With a $(docv), write the JSONL audit artifact there \
+       (readable by $(b,ccprof audit)); with '-' (the default value) only \
+       the verdict summary is printed, on stderr. Zero-perturbation: the \
+       sampled trees, stdout, and recorder digests are byte-identical with \
+       and without this flag."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "audit" ] ~doc ~docv:"FILE")
+  in
   let run () seed verbose family size file weights trials ledger alpha bits
-      method_ faults obs transport topts =
+      method_ audit faults obs transport topts =
     setup_logs verbose;
     let prng = Prng.create ~seed in
     let g = load_graph ?weights ~family ~size ~file ~prng () in
     let n = Graph.n g in
+    let auditor =
+      match audit with
+      | None -> None
+      | Some spec ->
+          let a = Cc_audit.Audit.create g in
+          Cc_audit.Audit.install a;
+          Some (spec, a)
+    in
     let net = arm_faults faults (Net.create ~n) in
     let config =
       {
@@ -590,11 +634,24 @@ let sample_cmd =
       | "determinantal" ->
           Printf.printf "# tree %d (exact, leverage-score chain rule)\n" t;
           print_tree (Cc_walks.Determinantal.sample_tree g prng)
+      | "biased" ->
+          Printf.printf "# tree %d (biased fixture; see --audit)\n" t;
+          print_tree (Cc_walks.Wilson.sample_biased g prng)
       | m -> failwith ("unknown method: " ^ m))
     done;
     print_fault_summary faults net;
     if ledger then Format.printf "%a@." Net.pp_ledger net))
     in
+    (match auditor with
+    | None -> ()
+    | Some (spec, a) ->
+        Cc_audit.Audit.uninstall ();
+        if spec <> "-" then begin
+          let oc = open_out spec in
+          output_string oc (Cc_audit.Audit.to_jsonl a);
+          close_out oc
+        end;
+        print_audit_summary a);
     if !unrecoverable || degraded then exit exit_unrecoverable
   in
   let info =
@@ -605,7 +662,7 @@ let sample_cmd =
     Term.(
       const run $ domains_t $ seed_t $ verbose_t $ family_t $ size_t $ file_t
       $ weights_t $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t
-      $ faults_t $ obs_t $ transport_kind_t $ topts_t)
+      $ audit_t $ faults_t $ obs_t $ transport_kind_t $ topts_t)
 
 (* --- doubling --- *)
 

@@ -105,6 +105,7 @@ let sample ?rho ?target_len ?(lazy_walk = true) g prng =
   done;
   let tree = Tree.of_edges ~n !tree_edges in
   assert (Tree.is_spanning_tree g tree);
+  Cc_audit.Audit.observe_sink g tree;
   { tree; phases = !phases; walk_total = !walk_total }
 
 let sample_tree g prng = (sample g prng).tree

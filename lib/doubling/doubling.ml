@@ -407,7 +407,9 @@ let sample_tree ?faults net prng g ~tau0 =
     total := !total + Array.length segment - 1;
     tau := 2 * !tau
   done;
-  (Tree.of_edges ~n !tree_edges, !total)
+  let tree = Tree.of_edges ~n !tree_edges in
+  Cc_audit.Audit.observe_sink g tree;
+  (tree, !total)
 
 let pagerank ?faults net prng g ~walks_per_node ~epsilon =
   if epsilon <= 0.0 || epsilon >= 1.0 then

@@ -4,6 +4,7 @@ type record = {
   measured : float option;
   bound : float option;
   ratio : float option;
+  quality : (string * float) list;
 }
 
 type experiment = {
@@ -53,6 +54,18 @@ let parse_record v =
             List.map (fun (k, pv) -> (k, scalar_to_string pv)) fields
         | _ -> []
       in
+      (* cc-bench/4: statistical-quality measurements (audit-plane TV, KL,
+         max |z|, ESS, ...) ride along as a flat numeric object; non-numeric
+         members are ignored rather than rejected. *)
+      let quality =
+        match Json.member "quality" v with
+        | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (k, qv) ->
+                Option.map (fun x -> (k, x)) (Json.to_float_opt qv))
+              fields
+        | _ -> []
+      in
       Ok
         {
           experiment;
@@ -60,6 +73,7 @@ let parse_record v =
           measured = float_field "measured" v;
           bound = float_field "bound" v;
           ratio = float_field "ratio" v;
+          quality;
         }
 
 let parse_experiment v =
@@ -136,11 +150,17 @@ type agg = {
   rows : int;
   mean_ratio : float option;
   worst_ratio : float option;
+  quality : (string * float) list;
 }
 
 let aggregate doc =
   (* id -> (row count, ratio sum, ratio count, worst ratio) *)
   let stats : (string, int * float * int * float) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (* id -> quality key -> (sum, count); keys in first-seen order. *)
+  let qstats : (string, (string, float * int) Hashtbl.t * string list ref)
+      Hashtbl.t =
     Hashtbl.create 16
   in
   let order = ref [] in
@@ -158,17 +178,52 @@ let aggregate doc =
         | Some x when Float.is_finite x -> (sum +. x, n + 1, Float.max worst x)
         | _ -> (sum, n, worst)
       in
-      Hashtbl.replace stats r.experiment (rows + 1, sum, n, worst))
+      Hashtbl.replace stats r.experiment (rows + 1, sum, n, worst);
+      if r.quality <> [] then begin
+        let tbl, keys =
+          match Hashtbl.find_opt qstats r.experiment with
+          | Some s -> s
+          | None ->
+              let s = (Hashtbl.create 4, ref []) in
+              Hashtbl.replace qstats r.experiment s;
+              s
+        in
+        List.iter
+          (fun (k, x) ->
+            if Float.is_finite x then begin
+              let s, c =
+                match Hashtbl.find_opt tbl k with
+                | Some s -> s
+                | None ->
+                    keys := k :: !keys;
+                    (0.0, 0)
+              in
+              Hashtbl.replace tbl k (s +. x, c + 1)
+            end)
+          r.quality
+      end)
     doc.records;
+  let quality_of id =
+    match Hashtbl.find_opt qstats id with
+    | None -> []
+    | Some (tbl, keys) ->
+        List.rev_map
+          (fun k ->
+            let s, c = Hashtbl.find tbl k in
+            (k, s /. float_of_int (max 1 c)))
+          !keys
+  in
   let agg_of exp =
     match Hashtbl.find_opt stats exp.id with
-    | None -> { exp; rows = 0; mean_ratio = None; worst_ratio = None }
+    | None ->
+        { exp; rows = 0; mean_ratio = None; worst_ratio = None; quality = [] }
     | Some (rows, sum, n, worst) ->
         {
           exp;
           rows;
           mean_ratio = (if n = 0 then None else Some (sum /. float_of_int n));
           worst_ratio = (if n = 0 then None else Some worst);
+          quality = quality_of exp.id;
         }
   in
   let listed = List.map (fun e -> e.id) doc.experiments in

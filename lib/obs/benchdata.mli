@@ -2,7 +2,8 @@
 
     The bench harness's [--json FILE] flag writes one JSON document per run
     (schema [cc-bench/1]; [cc-bench/2] adds per-experiment load fields;
-    [cc-bench/3] adds the top-level engine object).
+    [cc-bench/3] adds the top-level engine object; [cc-bench/4] adds
+    per-record statistical-quality columns from the audit plane).
     This module reads those documents back, aggregates the per-row records
     into per-experiment summaries, and diffs two runs by their measured/bound
     ratios — the seed-deterministic quantity a regression gate can pin. The
@@ -14,6 +15,9 @@ type record = {
   measured : float option;
   bound : float option;  (** the paper bound, when the row has one. *)
   ratio : float option;  (** [measured /. bound]; [None] without a bound. *)
+  quality : (string * float) list;
+      (** cc-bench/4: flat numeric quality measurements (audit TV, KL,
+          max |z|, ESS, ...); [[]] in earlier schemas. *)
 }
 
 type experiment = {
@@ -54,6 +58,9 @@ type agg = {
   rows : int;  (** records under this experiment id. *)
   mean_ratio : float option;  (** mean over rows carrying a ratio. *)
   worst_ratio : float option;  (** max over rows carrying a ratio. *)
+  quality : (string * float) list;
+      (** per-key means over rows carrying that quality key, first-seen key
+          order; [[]] when no row carried quality data. *)
 }
 
 (** [aggregate doc] summarizes each experiment: its row count plus the mean

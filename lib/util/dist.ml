@@ -103,16 +103,26 @@ let tv_counts ~counts d =
     invalid_arg "Dist.tv_counts: support sizes differ";
   tv (empirical counts) d
 
+(* The divergence's two degenerate directions are deliberately asymmetric
+   (see dist.mli): mass of [a] where [b] has none makes the whole divergence
+   [infinity] (the distributions are mutually singular on that outcome and
+   no finite penalty is faithful), while mass of [b] where [a] has none
+   contributes nothing (the 0 * log 0 = 0 convention). We short-circuit on
+   the first infinite term so no NaN can arise from later arithmetic. *)
 let kl a b =
   same_support a b;
-  let acc = ref 0.0 in
-  Array.iteri
-    (fun i p ->
+  let n = support_size a in
+  let exception Disjoint in
+  try
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let p = a.probs.(i) in
       if p > 0.0 then
-        if b.probs.(i) <= 0.0 then acc := infinity
-        else acc := !acc +. (p *. Float.log (p /. b.probs.(i))))
-    a.probs;
-  !acc
+        if b.probs.(i) <= 0.0 then raise Disjoint
+        else acc := !acc +. (p *. Float.log (p /. b.probs.(i)))
+    done;
+    !acc
+  with Disjoint -> infinity
 
 let chi_square_stat ~counts d =
   if Array.length counts <> support_size d then

@@ -57,8 +57,18 @@ val tv : t -> t -> float
     distribution of [counts] and [d]. *)
 val tv_counts : counts:int array -> t -> float
 
-(** [kl a b] is the Kullback–Leibler divergence D(a || b); [infinity] when [a]
-    has mass where [b] does not. *)
+(** [kl a b] is the Kullback–Leibler divergence D(a || b).
+
+    Zero-mass contract (the two degenerate directions are asymmetric, and
+    both are defined — neither raises):
+    - if [a] has mass on an outcome where [b] has none, the result is exactly
+      [infinity] (never NaN): [a] is not absolutely continuous w.r.t. [b] and
+      no finite value is faithful;
+    - outcomes where [b] has mass but [a] has none contribute [0.0]
+      (the [0 * log 0 = 0] convention), so [kl] stays finite in that
+      direction.
+
+    @raise Invalid_argument only when the support sizes differ. *)
 val kl : t -> t -> float
 
 (** [chi_square_stat ~counts d] is the chi-square goodness-of-fit statistic of

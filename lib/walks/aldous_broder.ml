@@ -20,6 +20,8 @@ let sample g prng ~start =
     end;
     current := next
   done;
-  (Tree.of_edges ~n !tree_edges, !steps)
+  let tree = Tree.of_edges ~n !tree_edges in
+  Cc_audit.Audit.observe_sink g tree;
+  (tree, !steps)
 
 let sample_tree g prng = fst (sample g prng ~start:0)

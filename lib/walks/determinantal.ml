@@ -79,7 +79,9 @@ let sample_tree g prng =
         end
       end)
     (Graph.edges g);
-  Tree.of_edges ~n !chosen
+  let tree = Tree.of_edges ~n !chosen in
+  Cc_audit.Audit.observe_sink g tree;
+  tree
 
 let empirical_marginals ~trials sampler g =
   if trials <= 0 then invalid_arg "Determinantal.empirical_marginals";

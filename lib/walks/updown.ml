@@ -78,5 +78,9 @@ let default_steps g =
   let m = Graph.num_edges g in
   int_of_float (Float.ceil (4.0 *. float_of_int m *. Float.log (float_of_int (m + 1))))
 
+(* Only the final chain state is a sample; intermediate [step]/[sample]
+   states are not reported to the audit sink. *)
 let sample_tree g prng =
-  sample g prng ~steps:(default_steps g) ~init:(bfs_tree g)
+  let tree = sample g prng ~steps:(default_steps g) ~init:(bfs_tree g) in
+  Cc_audit.Audit.observe_sink g tree;
+  tree

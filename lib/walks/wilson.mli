@@ -13,3 +13,11 @@ val sample :
 (** [sample_tree g prng] is [sample] rooted at 0, discarding the step
     count. *)
 val sample_tree : Cc_graph.Graph.t -> Cc_util.Prng.t -> Cc_graph.Tree.t
+
+(** [sample_biased g prng] is a {e deliberately wrong} sampler: it rejects
+    trees containing the lexicographically least edge of [g] (up to three
+    redraws), deflating that edge's marginal from its leverage [p] to about
+    [p^4]. It exists as the negative fixture for the statistical audit plane
+    ({!Cc_audit.Audit}): an auditor that accepts it is broken. Only the
+    returned tree is reported to the audit sink. *)
+val sample_biased : Cc_graph.Graph.t -> Cc_util.Prng.t -> Cc_graph.Tree.t

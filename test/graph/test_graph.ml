@@ -97,6 +97,51 @@ let test_effective_resistance_parallel () =
   let g = Graph.of_unweighted_edges ~n:4 [ (0, 1); (1, 3); (0, 2); (2, 3) ] in
   check_float ~eps:1e-7 "R parallel" 1.0 (Graph.effective_resistance g 0 3)
 
+let test_effective_resistance_weighted_series () =
+  (* Resistance of edge (u,v) with weight w is 1/w; a weighted path adds the
+     reciprocals. *)
+  let g = Graph.of_edges ~n:4 [ (0, 1, 2.0); (1, 2, 4.0); (2, 3, 0.5) ] in
+  check_float ~eps:1e-7 "R(0,3)" (0.5 +. 0.25 +. 2.0)
+    (Graph.effective_resistance g 0 3);
+  check_float ~eps:1e-7 "R(1,2)" 0.25 (Graph.effective_resistance g 1 2)
+
+let test_effective_resistance_cycle () =
+  (* Adjacent vertices of an unweighted n-cycle: 1 ohm in parallel with the
+     other n-1 edges in series, so R = (n-1)/n. *)
+  List.iter
+    (fun n ->
+      let g = Gen.cycle n in
+      check_float ~eps:1e-7
+        (Printf.sprintf "C%d adjacent" n)
+        (float_of_int (n - 1) /. float_of_int n)
+        (Graph.effective_resistance g 0 1))
+    [ 3; 5; 8 ]
+
+(* Foster's theorem: on any connected graph, sum_e w_e * R_eff(e) = n - 1.
+   This is the identity that makes the audit plane's leverage oracle sum to
+   the tree size, so pin it both on closed-form families and at random. *)
+let foster_sum g =
+  List.fold_left
+    (fun acc (u, v, w) -> acc +. (w *. Graph.effective_resistance g u v))
+    0.0 (Graph.edges g)
+
+let test_foster_closed_forms () =
+  List.iter
+    (fun (name, g) ->
+      check_float ~eps:1e-6 name
+        (float_of_int (Graph.n g - 1))
+        (foster_sum g))
+    [
+      ("path", Gen.path 6);
+      ("cycle", Gen.cycle 7);
+      ("complete", Gen.complete 6);
+      ("grid", Gen.grid ~rows:2 ~cols:4);
+      ( "weighted",
+        Graph.of_edges ~n:4
+          [ (0, 1, 2.5); (1, 2, 0.25); (2, 3, 3.0); (0, 3, 1.0); (0, 2, 0.5) ]
+      );
+    ]
+
 (* --- Generators --- *)
 
 let test_generator_shapes () =
@@ -354,6 +399,15 @@ let qcheck_tests =
         let g = Cc_graph.Gen.random_connected prng ~n ~extra_edges:n in
         (* Rayleigh: resistance between path endpoints is at most its length. *)
         Graph.effective_resistance g 0 (n - 1) <= float_of_int n +. 1e-6);
+    Test.make ~name:"Foster's theorem on random weighted graphs" ~count:50
+      params (fun (n, seed) ->
+        let prng = Prng.create ~seed in
+        let g =
+          Cc_graph.Gen.random_weights prng
+            (Cc_graph.Gen.random_connected prng ~n ~extra_edges:n)
+            ~max_weight:8
+        in
+        Float.abs (foster_sum g -. float_of_int (n - 1)) < 1e-6);
   ]
 
 let () =
@@ -377,6 +431,10 @@ let () =
           Alcotest.test_case "laplacian roundtrip" `Quick test_laplacian_roundtrip;
           Alcotest.test_case "resistance series" `Quick test_effective_resistance_path;
           Alcotest.test_case "resistance parallel" `Quick test_effective_resistance_parallel;
+          Alcotest.test_case "resistance weighted series" `Quick
+            test_effective_resistance_weighted_series;
+          Alcotest.test_case "resistance cycle" `Quick test_effective_resistance_cycle;
+          Alcotest.test_case "Foster closed forms" `Quick test_foster_closed_forms;
         ] );
       ( "generators",
         [

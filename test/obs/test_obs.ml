@@ -776,6 +776,7 @@ let doc_of_ratios pairs =
             measured = Some ratio;
             bound = Some 1.0;
             ratio = Some ratio;
+            quality = [];
           })
         pairs;
   }

@@ -255,6 +255,22 @@ let test_kl_properties () =
   let b = Dist.point ~support_size:2 0 in
   Alcotest.(check bool) "kl infinite" true (Dist.kl a b = infinity)
 
+(* The zero-mass contract, both degenerate directions: a-mass where b has
+   none is +infinity (never NaN); b-mass where a has none contributes 0. *)
+let test_kl_zero_mass () =
+  let point = Dist.point ~support_size:3 1 in
+  let broad = Dist.of_weights [| 1.0; 2.0; 1.0 |] in
+  Alcotest.(check bool) "broad || point = inf" true
+    (Dist.kl broad point = infinity);
+  Alcotest.(check bool) "no NaN in the infinite direction" false
+    (Float.is_nan (Dist.kl broad point));
+  check_float ~eps:1e-12 "point || broad = -ln q1"
+    (-.Float.log 0.5) (Dist.kl point broad);
+  check_float "point || point self" 0.0 (Dist.kl point point);
+  Alcotest.check_raises "support mismatch"
+    (Invalid_argument "Dist: support sizes differ") (fun () ->
+      ignore (Dist.kl point (Dist.uniform 4)))
+
 let test_dist_rejects_bad_weights () =
   Alcotest.check_raises "negative" (Invalid_argument "Dist: weights must be finite and nonnegative")
     (fun () -> ignore (Dist.of_weights [| 1.0; -1.0 |]));
@@ -495,6 +511,7 @@ let () =
           Alcotest.test_case "alias method" `Slow test_alias_matches_cdf;
           Alcotest.test_case "tv distance" `Quick test_tv_distance;
           Alcotest.test_case "point mass" `Quick test_point_dist;
+          Alcotest.test_case "kl zero mass" `Quick test_kl_zero_mass;
           Alcotest.test_case "kl" `Quick test_kl_properties;
           Alcotest.test_case "rejects bad weights" `Quick test_dist_rejects_bad_weights;
         ] );
