@@ -21,6 +21,7 @@
      D1  determinism: same-seed runs produce byte-identical recorder digests
      P1  strong scaling: the same dense workload at 1/2/4/N domains
      Q1  audit plane: samples-to-verdict per sampler + biased-fixture power
+     S1  ccserve: plan-cache throughput, cold vs warm, 1 vs 4 clients
 
    Usage:
      dune exec bench/main.exe                 -- all experiments
@@ -51,6 +52,8 @@ module Sampler = Cc_sampler.Sampler
 module Phase_walk = Cc_sampler.Phase_walk
 module Placement = Cc_matching.Placement
 module Audit = Cc_audit.Audit
+module Serve = Cc_serve.Server
+module Serve_protocol = Cc_serve.Protocol
 
 let fast = ref false
 let selected : string list ref = ref []
@@ -1487,6 +1490,189 @@ let q1 () =
      REJECTED almost immediately — the Bonferroni z-gate sees its ~p^4\n\
      marginal long before the exact-TV criterion would settle."
 
+(* ---------------------------------------------------------------- S1 --- *)
+
+(* Drives a real ccserve core over a real Unix-domain socket, in-process:
+   the bench process plays both the server (cooperative [Serve.step]) and
+   the clients (nonblocking fds writing Protocol request lines), so the
+   measurement needs no forked binary and no sleeps.
+
+   Cold and warm phases request the SAME seed list, so both draw identical
+   walks (the prepare/draw determinism contract); the only difference is
+   that cold requests hit a fresh server — paying [Sampler.prepare], the
+   memo-cold Schur/shortcut compute, and server start/stop — while warm
+   requests are plan-cache + memo hits that pay only the draw. Different
+   seeds would make the walk-length variance swamp the cached compute. *)
+let s1 () =
+  section "S1" "ccserve: plan-cache throughput, cold vs warm, 1 vs 4 clients";
+  let n = 32 in
+  let g = Gen.build (Prng.create ~seed:1) Gen.Complete ~n in
+  let sock_counter = ref 0 in
+  let fresh_server () =
+    incr sock_counter;
+    let sock =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "cc-bench-s1-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+    in
+    Serve.create { (Serve.default_config ~sock) with cache_cap = 4 }
+  in
+  let shutdown srv =
+    Serve.request_stop srv;
+    while Serve.step srv do () done
+  in
+  (* Connect [clients] sockets, send one k=1 request per element of [seeds]
+     on each, and pump [Serve.step] against nonblocking reads until every
+     done line has arrived. Any server-side error fails the experiment. *)
+  let run_requests srv ~clients ~seeds =
+    let per_client = List.length seeds in
+    let fds =
+      List.init clients (fun _ ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX (Serve.sock_path srv));
+          Unix.set_nonblock fd;
+          (fd, Buffer.create 4096))
+    in
+    List.iter
+      (fun (fd, _) ->
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun seed ->
+            Buffer.add_string buf
+              (Serve_protocol.request_line ~graph:g ~k:1 ~seed
+                 ~meth:Serve_protocol.Cc ()))
+          seeds;
+        let s = Buffer.contents buf in
+        let off = ref 0 in
+        while !off < String.length s do
+          match Unix.write_substring fd s !off (String.length s - !off) with
+          | w -> off := !off + w
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+              ignore (Serve.step srv)
+        done)
+      fds;
+    let target = clients * per_client in
+    let done_seen = ref 0 in
+    let chunk = Bytes.create 65536 in
+    let steps = ref 0 in
+    while !done_seen < target do
+      incr steps;
+      if !steps > 5_000_000 then failwith "S1: server stalled";
+      ignore (Serve.step srv);
+      List.iter
+        (fun (fd, rbuf) ->
+          (try
+             let reading = ref true in
+             while !reading do
+               match Unix.read fd chunk 0 (Bytes.length chunk) with
+               | 0 -> reading := false
+               | len -> Buffer.add_subbytes rbuf chunk 0 len
+             done
+           with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ());
+          let s = Buffer.contents rbuf in
+          match String.rindex_opt s '\n' with
+          | None -> ()
+          | Some last ->
+              Buffer.clear rbuf;
+              Buffer.add_substring rbuf s (last + 1)
+                (String.length s - last - 1);
+              String.split_on_char '\n' (String.sub s 0 last)
+              |> List.iter (fun line ->
+                     if line <> "" then
+                       match Serve_protocol.parse_response line with
+                       | Ok (Serve_protocol.Done _) -> incr done_seen
+                       | Ok (Serve_protocol.Tree _) -> ()
+                       | Ok (Serve_protocol.Error e) ->
+                           failwith ("S1: server error: " ^ e.message)
+                       | Error msg -> failwith ("S1: bad response: " ^ msg)))
+        fds
+    done;
+    List.iter (fun (fd, _) -> Unix.close fd) fds
+  in
+  let reps = if !fast then 3 else 5 in
+  let seeds = List.init reps (fun i -> 1 + i) in
+  (* cold: fresh server (empty plan cache, cold memo) for every request *)
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun s ->
+      let srv = fresh_server () in
+      run_requests srv ~clients:1 ~seeds:[ s ];
+      shutdown srv)
+    seeds;
+  let cold_wall = Unix.gettimeofday () -. t0 in
+  let cold_tps = float_of_int reps /. cold_wall in
+  (* warm: prime with one pass over the same seeds, then measure a second
+     pass — identical walks, but every request is a cache + memo hit *)
+  let warm ~clients =
+    let srv = fresh_server () in
+    run_requests srv ~clients:1 ~seeds;
+    let t0 = Unix.gettimeofday () in
+    run_requests srv ~clients ~seeds;
+    let wall = Unix.gettimeofday () -. t0 in
+    let hits, misses, _ = Serve.cache_stats srv in
+    shutdown srv;
+    (float_of_int (clients * reps) /. wall, wall, hits, misses)
+  in
+  let warm1_tps, warm1_wall, h1, m1 = warm ~clients:1 in
+  let warm4_tps, warm4_wall, h4, m4 = warm ~clients:4 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "complete graph n=%d, k=1 per request, served over a Unix socket" n)
+      ~columns:
+        [ "phase"; "clients"; "requests"; "wall (s)"; "trees/s"; "hit/miss" ]
+  in
+  let row ~phase ~clients ~requests ~wall ~hits ~misses tps =
+    Report.record ~id:"S1"
+      ~params:
+        [
+          ("phase", Report.str phase);
+          ("clients", Report.int clients);
+          ("n", Report.int n);
+          ("requests", Report.int requests);
+        ]
+      ~extra:
+        [
+          ("wall_s", Report.flt wall);
+          ("cache_hits", Report.int hits);
+          ("cache_misses", Report.int misses);
+        ]
+      tps;
+    Table.add_row table
+      [
+        phase;
+        Table.cell_int clients;
+        Table.cell_int requests;
+        Table.cell_float ~decimals:3 wall;
+        Table.cell_float ~decimals:1 tps;
+        Printf.sprintf "%d/%d" hits misses;
+      ]
+  in
+  row ~phase:"cold" ~clients:1 ~requests:reps ~wall:cold_wall ~hits:0
+    ~misses:reps cold_tps;
+  row ~phase:"warm" ~clients:1 ~requests:reps ~wall:warm1_wall ~hits:h1
+    ~misses:m1 warm1_tps;
+  row ~phase:"warm" ~clients:4 ~requests:(4 * reps) ~wall:warm4_wall ~hits:h4
+    ~misses:m4 warm4_tps;
+  (* hardware-independent gate row for ccprof diff: 1.0 iff warm beat cold *)
+  Report.record ~id:"S1"
+    ~params:[ ("phase", Report.str "gate"); ("n", Report.int n) ]
+    ~bound:1.0
+    ~extra:[ ("speedup", Report.flt (warm1_tps /. cold_tps)) ]
+    (if warm1_tps > cold_tps then 1.0 else 0.0);
+  Table.print table;
+  Printf.printf "warm/cold speedup (1 client): %.1fx\n" (warm1_tps /. cold_tps);
+  if warm1_tps <= cold_tps then
+    failwith
+      "S1 REGRESSION: warm-cache throughput did not beat cold — plan reuse \
+       is no longer skipping preparation";
+  print_endline
+    "Expected shape: warm requests reuse the cached factorization and only\n\
+     pay the draw, so warm trees/s sits well above cold (which pays\n\
+     Sampler.prepare per request); 4 concurrent clients see round-robin\n\
+     fairness, not a 4x collapse."
+
 (* ------------------------------------------------- bechamel microbench --- *)
 
 let microbench () =
@@ -1626,6 +1812,7 @@ let () =
   run_exp "A4" a4;
   run_exp "P1" p1;
   run_exp "Q1" q1;
+  run_exp "S1" s1;
   if !micro || List.mem "MICRO" !selected then begin
     let t0 = Unix.gettimeofday () in
     microbench ();

@@ -529,6 +529,54 @@ let print_audit_summary a =
           g.Audit.statistic g.Audit.threshold g.Audit.detail)
     v.Audit.gates
 
+(* --- client mode: forward the request to a running ccserve --- *)
+
+let run_connect ~sock ~g ~k ~seed ~method_ =
+  let meth =
+    match String.lowercase_ascii method_ with
+    | "cc" -> Cc_serve.Protocol.Cc
+    | "sequential" -> Cc_serve.Protocol.Sequential
+    | "doubling" -> Cc_serve.Protocol.Doubling
+    | m -> fail_usage ("--connect supports cc|sequential|doubling, got " ^ m)
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX sock) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      fail_usage (Printf.sprintf "--connect %s: %s" sock (Unix.error_message e)));
+  let req = Cc_serve.Protocol.request_line ~graph:g ~k ~seed ~meth () in
+  let off = ref 0 in
+  while !off < String.length req do
+    off := !off + Unix.write_substring fd req !off (String.length req - !off)
+  done;
+  (* The header field carries the exact bytes a one-shot run would print,
+     so stdout below is byte-identical to [cctree sample --count k]. *)
+  let ic = Unix.in_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file ->
+        prerr_endline "cctree: server closed the connection mid-request";
+        exit exit_unrecoverable
+    | line -> (
+        match Cc_serve.Protocol.parse_response line with
+        | Ok (Cc_serve.Protocol.Tree { header; edges; _ }) ->
+            print_string header;
+            List.iter (fun (u, v) -> Printf.printf "%d %d\n" u v) edges;
+            loop ()
+        | Ok (Cc_serve.Protocol.Done { cache_hit; digest; rounds; _ }) ->
+            Format.eprintf "# server: cache %s, digest %s, rounds %.0f@."
+              (if cache_hit then "hit" else "miss")
+              digest rounds
+        | Ok (Cc_serve.Protocol.Error { message; _ }) ->
+            prerr_endline ("cctree: server error: " ^ message);
+            exit exit_unrecoverable
+        | Error m ->
+            prerr_endline ("cctree: bad server response: " ^ m);
+            exit exit_unrecoverable)
+  in
+  loop ();
+  close_in ic
+
 (* --- sample --- *)
 
 let sample_cmd =
@@ -560,6 +608,27 @@ let sample_cmd =
     in
     Arg.(value & opt string "cc" & info [ "method" ] ~doc)
   in
+  let count_t =
+    let doc =
+      "Sample $(docv) trees in one process reusing one prepared plan \
+       (prepare once, draw $(docv) times). Unlike --trials, tree $(i,i) \
+       draws from the $(i,i)-th sequential split of the master seed, so \
+       its bytes are independent of $(docv) — and identical to what a \
+       ccserve request with the same seed streams back. Methods: cc, \
+       sequential, doubling."
+    in
+    Arg.(value & opt int 0 & info [ "count" ] ~doc ~docv:"K")
+  in
+  let connect_t =
+    let doc =
+      "Client mode: send the request to the ccserve daemon at socket \
+       $(docv) instead of sampling locally, and print the streamed trees \
+       (stdout is byte-identical to a local --count run; the server's \
+       cache verdict and recorder digest go to stderr)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "connect" ] ~doc ~docv:"SOCK")
+  in
   let audit_t =
     let doc =
       "Attach the statistical auditor: accumulate per-edge inclusion counts \
@@ -577,11 +646,17 @@ let sample_cmd =
       & info [ "audit" ] ~doc ~docv:"FILE")
   in
   let run () seed verbose family size file weights trials ledger alpha bits
-      method_ audit faults obs transport topts =
+      method_ count connect audit faults obs transport topts =
     setup_logs verbose;
     let prng = Prng.create ~seed in
     let g = load_graph ?weights ~family ~size ~file ~prng () in
     let n = Graph.n g in
+    match connect with
+    | Some sock ->
+        run_connect ~sock ~g
+          ~k:(if count > 0 then count else trials)
+          ~seed ~method_
+    | None ->
     let auditor =
       match audit with
       | None -> None
@@ -604,6 +679,44 @@ let sample_cmd =
     let degraded =
       with_obs obs net (fun () ->
     with_transport transport topts net (fun () ->
+    (if count > 0 then
+      (* Prepare once, draw [count] times. Tree t draws from the t-th
+         sequential split of the master stream, so its bytes don't depend
+         on count — and match what a ccserve request with the same seed
+         streams back. *)
+      match String.lowercase_ascii method_ with
+      | "cc" ->
+          let plan = Sampler.prepare ~config g in
+          for t = 1 to count do
+            let p = Prng.split prng in
+            let r = Sampler.draw plan net p in
+            Printf.printf "# tree %d: %d phases, %.0f rounds, walk length %d\n"
+              t r.Sampler.phases r.Sampler.rounds r.Sampler.walk_total;
+            if faults <> None then
+              Format.printf "# health: %a@." Fault.pp_health r.Sampler.health;
+            if exit_for_health r.Sampler.health then unrecoverable := true;
+            print_tree r.Sampler.tree
+          done
+      | "sequential" ->
+          let plan = Cc_sampler.Sequential.prepare g in
+          for t = 1 to count do
+            let p = Prng.split prng in
+            let r = Cc_sampler.Sequential.draw plan p in
+            Printf.printf "# tree %d: %d phases, walk length %d\n" t
+              r.Cc_sampler.Sequential.phases
+              r.Cc_sampler.Sequential.walk_total;
+            print_tree r.Cc_sampler.Sequential.tree
+          done
+      | "doubling" ->
+          let plan = Doubling.prepare g ~tau0:n in
+          for t = 1 to count do
+            let p = Prng.split prng in
+            let tree, steps = Doubling.draw plan net p in
+            Printf.printf "# tree %d: %d walk steps\n" t steps;
+            print_tree tree
+          done
+      | m -> fail_usage ("--count supports cc|sequential|doubling, got " ^ m)
+    else
     for t = 1 to trials do
       (match String.lowercase_ascii method_ with
       | "cc" ->
@@ -638,7 +751,7 @@ let sample_cmd =
           Printf.printf "# tree %d (biased fixture; see --audit)\n" t;
           print_tree (Cc_walks.Wilson.sample_biased g prng)
       | m -> failwith ("unknown method: " ^ m))
-    done;
+    done);
     print_fault_summary faults net;
     if ledger then Format.printf "%a@." Net.pp_ledger net))
     in
@@ -662,7 +775,8 @@ let sample_cmd =
     Term.(
       const run $ domains_t $ seed_t $ verbose_t $ family_t $ size_t $ file_t
       $ weights_t $ trials_t $ ledger_t $ alpha_t $ bits_t $ method_t
-      $ audit_t $ faults_t $ obs_t $ transport_kind_t $ topts_t)
+      $ count_t $ connect_t $ audit_t $ faults_t $ obs_t $ transport_kind_t
+      $ topts_t)
 
 (* --- doubling --- *)
 

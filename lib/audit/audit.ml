@@ -56,6 +56,7 @@ let feature_names = [| "max_degree"; "leaf_count"; "diameter"; "root_depth" |]
 
 type t = {
   graph : Graph.t;
+  fingerprint : string; (* Graph.fingerprint, cached for the sink's fast path *)
   n : int;
   m : int;
   alpha : float;
@@ -181,6 +182,7 @@ let create ?(alpha = 1e-3) ?(min_trials = 32) ?(small_limit = 8)
   in
   {
     graph = g;
+    fingerprint = Graph.fingerprint g;
     n;
     m;
     alpha;
@@ -428,11 +430,14 @@ let install t = current := Some t
 let uninstall () = current := None
 let installed () = !current
 
+(* Physical equality is the fast path; otherwise the canonical digest decides,
+   so two structurally identical graphs built independently (e.g. one parsed
+   off the ccserve wire) feed the same audit. *)
 let same_graph t g =
   t.graph == g
   || (Graph.n g = t.n
      && Graph.num_edges g = t.m
-     && Float.equal (Graph.total_weight g) (Graph.total_weight t.graph))
+     && String.equal (Graph.fingerprint g) t.fingerprint)
 
 let observe_sink g tree =
   match !current with

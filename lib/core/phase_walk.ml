@@ -85,8 +85,8 @@ let book_loads net ~label ~sent ~recv ~messages =
     ignore messages
   end
 
-let run net prng ~backend ?bits ~trans ~machine_of ~start ~rho ~target_len
-    ~matching () =
+let run net prng ~backend ?bits ?powers_slot ~trans ~machine_of ~start ~rho
+    ~target_len ~matching () =
   let s_count = Mat.rows trans in
   if Mat.cols trans <> s_count then invalid_arg "Phase_walk.run: trans not square";
   if rho < 2 then invalid_arg "Phase_walk.run: rho < 2";
@@ -96,8 +96,20 @@ let run net prng ~backend ?bits ~trans ~machine_of ~start ~rho ~target_len
   let ew = Net.entry_words net in
   let _, levels = next_pow2 target_len in
   let counters = { c_checks = 0; c_midpoints = 0; c_exact = 0; c_mcmc = 0 } in
-  (* Initialization Step (Algorithm 1): distributed power table + endpoint. *)
-  let powers = Matmul.power_table net backend ?bits trans ~levels in
+  (* Initialization Step (Algorithm 1): distributed power table + endpoint.
+     When the caller passes a plan's [powers_slot], a filled slot replays the
+     table's bookings without recomputing it, and an empty slot is filled for
+     the next draw; either way the net sees the same events. *)
+  let powers =
+    match powers_slot with
+    | Some ({ contents = Some cached } as _slot) ->
+        Matmul.power_table net backend ?bits ~reuse:cached trans ~levels
+    | Some ({ contents = None } as slot) ->
+        let t = Matmul.power_table net backend ?bits trans ~levels in
+        slot := Some t;
+        t
+    | None -> Matmul.power_table net backend ?bits trans ~levels
+  in
   let leader = machine_of start in
   let degenerate () =
     failwith

@@ -47,6 +47,12 @@ type stats = {
 
     [machine_of i] is the clique machine hosting phase-vertex [i] (identity
     in phase 1, the S-array in later phases).
+
+    [powers_slot] is the factorization-reuse hook for prepared plans: a
+    filled slot supplies the power table of [trans] (the draws replay its
+    bookings via [Matmul.power_table ~reuse] instead of recomputing), an
+    empty slot is populated on first use. The caller guarantees the slot
+    belongs to this exact [trans]/[bits]/[target_len] combination.
     @raise Invalid_argument if [trans] is not square/stochastic-ish, [rho]
     < 2, or [target_len] < 2. *)
 val run :
@@ -54,6 +60,7 @@ val run :
   Cc_util.Prng.t ->
   backend:Cc_clique.Matmul.backend ->
   ?bits:int ->
+  ?powers_slot:Cc_linalg.Mat.t array option ref ->
   trans:Cc_linalg.Mat.t ->
   machine_of:(int -> int) ->
   start:int ->

@@ -84,13 +84,148 @@ let charge_schur_pipeline net backend ~k =
 
 exception Degrade of Fault.failure
 
-let sample ?(config = default_config) ?faults net prng g =
-  let n = Graph.n g in
-  if Net.n net <> n then invalid_arg "Sampler.sample: net size must equal n";
+(* ------------------------------------------------------------------ *)
+(* Prepared plans: the graph-only half of the pipeline, computed once   *)
+(* and shared across draws (Section "prepare/draw" of DESIGN.md §15).   *)
+
+(* Per-phase memo entry for one vertex set S of a later phase: the
+   shortcut matrix Q, the sanitized (and lazy-mixed) Schur transition, and
+   the power-table slot Phase_walk fills on first use. All of it is pure
+   compute — the clique's charges for the Schur pipeline and the power
+   table are booked by [draw] on every draw, hit or miss, so the recorder
+   digest never depends on the memo state. *)
+type phase_entry = {
+  e_q : Mat.t;
+  e_trans : Mat.t;
+  e_powers : Mat.t array option ref;
+}
+
+type plan = {
+  plan_graph : Graph.t;
+  plan_fingerprint : string;
+  plan_config : config;
+  plan_rho : int;
+  plan_target_len : int;
+  plan_max_phases : int;
+  plan_trans1 : Mat.t; (* phase-1 (lazy-mixed) transition matrix of G *)
+  plan_powers1 : Mat.t array option ref; (* its power table, filled eagerly *)
+  plan_memo : (string, phase_entry) Hashtbl.t; (* S-array -> entry *)
+  mutable plan_draws : int;
+  mutable plan_memo_hits : int;
+  mutable plan_memo_misses : int;
+}
+
+(* Later-phase vertex sets are seed-dependent, so the memo is bounded:
+   beyond [memo_cap] distinct sets, fresh entries are computed but not
+   retained (replaying one seed stays fully memoized; a cap overflow only
+   costs recompute, never correctness). *)
+let memo_cap = 128
+
+let resolve_rho config n =
+  match config.rho with
+  | Some r -> max 2 (min r n)
+  | None -> max 2 (int_of_float (Float.ceil (sqrt (Float.of_int n))))
+
+let resolve_target_len config n =
+  match config.target_len with
+  | Some l -> next_pow2 (max 2 l)
+  | None ->
+      let lg = max 1 (int_of_float (Float.ceil (Float.log2 (Float.of_int n)))) in
+      next_pow2 (max 2 (n * n * n * lg))
+
+let resolve_max_phases config n =
+  if config.max_phases > 0 then config.max_phases
+  else 64 * (1 + int_of_float (sqrt (Float.of_int n)))
+
+let prepare ?(config = default_config) g =
   if not (Graph.is_connected g) then
-    invalid_arg "Sampler.sample: graph must be connected";
+    invalid_arg "Sampler.prepare: graph must be connected";
+  let n = Graph.n g in
+  Cc_obs.Metrics.incr "sampler.prepares";
+  Cc_obs.Trace.with_span "sampler.prepare"
+    ~args:
+      [
+        ("n", string_of_int n);
+        ("backend", Matmul.backend_name config.backend);
+      ]
+  @@ fun () ->
+  let target_len = resolve_target_len config n in
+  let trans1 = Graph.transition_matrix g in
+  let trans1 = if config.lazy_walk then lazy_mix trans1 else trans1 in
+  (* The phase-1 power table is the dominant graph-only cost; computing it
+     pure here and replaying its bookings at draw time (Matmul.power_table
+     ~reuse) yields bit-identical matrices and bookings to a cold run. *)
+  let levels = log2_ceil target_len in
+  let powers1 = Matmul.power_table_pure ?bits:config.bits trans1 ~levels in
+  {
+    plan_graph = g;
+    plan_fingerprint = Graph.fingerprint g;
+    plan_config = config;
+    plan_rho = resolve_rho config n;
+    plan_target_len = target_len;
+    plan_max_phases = resolve_max_phases config n;
+    plan_trans1 = trans1;
+    plan_powers1 = ref (Some powers1);
+    plan_memo = Hashtbl.create 32;
+    plan_draws = 0;
+    plan_memo_hits = 0;
+    plan_memo_misses = 0;
+  }
+
+let plan_fingerprint plan = plan.plan_fingerprint
+let plan_config plan = plan.plan_config
+let plan_graph plan = plan.plan_graph
+
+let plan_stats plan =
+  (plan.plan_draws, plan.plan_memo_hits, plan.plan_memo_misses)
+
+let memo_key s =
+  let buf = Buffer.create (4 * Array.length s) in
+  Array.iter
+    (fun v ->
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ',')
+    s;
+  Buffer.contents buf
+
+(* The pure per-S computation of a later phase, memoized on the plan. A hit
+   skips the Shortcut/Schur work (and its trace spans) entirely. *)
+let phase_entry plan ~s =
+  let key = memo_key s in
+  match Hashtbl.find_opt plan.plan_memo key with
+  | Some e ->
+      plan.plan_memo_hits <- plan.plan_memo_hits + 1;
+      Cc_obs.Metrics.incr "sampler.plan.memo_hit";
+      e
+  | None ->
+      plan.plan_memo_misses <- plan.plan_memo_misses + 1;
+      Cc_obs.Metrics.incr "sampler.plan.memo_miss";
+      let g = plan.plan_graph in
+      let n = Graph.n g in
+      let config = plan.plan_config in
+      let in_s = Schur.members ~n ~s in
+      let q =
+        match config.schur with
+        | Exact_solve -> Shortcut.exact g ~in_s
+        | Powering { k } ->
+            let k = Option.value ~default:(default_schur_k n) k in
+            Shortcut.approx ?bits:config.bits g ~in_s ~k
+      in
+      let trans = sanitize_stochastic (Schur.transition_via_shortcut g q ~s) in
+      let trans = if config.lazy_walk then lazy_mix trans else trans in
+      let e = { e_q = q; e_trans = trans; e_powers = ref None } in
+      if Hashtbl.length plan.plan_memo < memo_cap then
+        Hashtbl.add plan.plan_memo key e;
+      e
+
+let draw plan ?faults net prng =
+  let g = plan.plan_graph in
+  let config = plan.plan_config in
+  let n = Graph.n g in
+  if Net.n net <> n then invalid_arg "Sampler.draw: net size must equal n";
+  plan.plan_draws <- plan.plan_draws + 1;
   let faults = match faults with Some _ as f -> f | None -> Net.faults net in
-  Cc_obs.Trace.with_span "sampler.sample"
+  Cc_obs.Trace.with_span "sampler.draw"
     ~args:
       [
         ("n", string_of_int n);
@@ -178,22 +313,9 @@ let sample ?(config = default_config) ?faults net prng g =
           (List.init (n - 1) (fun i ->
                { Net.src = i + 1; dst = 0; words = chunk }))
   in
-  let rho =
-    match config.rho with
-    | Some r -> max 2 (min r n)
-    | None -> max 2 (int_of_float (Float.ceil (sqrt (Float.of_int n))))
-  in
-  let target_len =
-    match config.target_len with
-    | Some l -> next_pow2 (max 2 l)
-    | None ->
-        let lg = max 1 (int_of_float (Float.ceil (Float.log2 (Float.of_int n)))) in
-        next_pow2 (max 2 (n * n * n * lg))
-  in
-  let max_phases =
-    if config.max_phases > 0 then config.max_phases
-    else 64 * (1 + int_of_float (sqrt (Float.of_int n)))
-  in
+  let rho = plan.plan_rho in
+  let target_len = plan.plan_target_len in
+  let max_phases = plan.plan_max_phases in
   let visited = Array.make n false in
   visited.(0) <- true;
   let remaining = ref (n - 1) in
@@ -230,12 +352,12 @@ let sample ?(config = default_config) ?faults net prng g =
     if !phases = 1 then begin
       (* Phase 1: walk on G itself; first-visit edges read off directly.
          When fewer than rho vertices exist, truncate at full coverage
-         instead (the walk past cover time adds no first-visit edges). *)
-      let trans = Graph.transition_matrix g in
-      let trans = if config.lazy_walk then lazy_mix trans else trans in
+         instead (the walk past cover time adds no first-visit edges). The
+         transition matrix and its power table come from the plan; the
+         bookings are replayed inside Phase_walk either way. *)
       let walk, stats =
         Phase_walk.run net prng ~backend:config.backend ?bits:config.bits
-          ~trans
+          ~powers_slot:plan.plan_powers1 ~trans:plan.plan_trans1
           ~machine_of:(fun i -> i)
           ~start:0 ~rho:(min rho n) ~target_len ~matching:config.matching ()
       in
@@ -264,18 +386,19 @@ let sample ?(config = default_config) ?faults net prng g =
              (List.init n (fun v -> v)))
       in
       let in_s = Schur.members ~n ~s in
-      let q, k_charge =
+      (* Pure Schur/shortcut state comes through the plan memo (a hit skips
+         the compute); the clique still pays the paper's pipeline rounds on
+         every draw, so hit and miss book identical Net events. *)
+      let entry = phase_entry plan ~s in
+      let q = entry.e_q in
+      let k_charge =
         match config.schur with
-        | Exact_solve ->
-            (Shortcut.exact g ~in_s, default_schur_k n)
-        | Powering { k } ->
-            let k = Option.value ~default:(default_schur_k n) k in
-            (Shortcut.approx ?bits:config.bits g ~in_s ~k, k)
+        | Exact_solve -> default_schur_k n
+        | Powering { k } -> Option.value ~default:(default_schur_k n) k
       in
       charge_schur_pipeline net config.backend ~k:k_charge;
       heal_matrix_shares ();
-      let trans = sanitize_stochastic (Schur.transition_via_shortcut g q ~s) in
-      let trans = if config.lazy_walk then lazy_mix trans else trans in
+      let trans = entry.e_trans in
       let local_of = Hashtbl.create (Array.length s) in
       Array.iteri (fun i v -> Hashtbl.add local_of v i) s;
       let start_local = Hashtbl.find local_of !current in
@@ -304,7 +427,7 @@ let sample ?(config = default_config) ?faults net prng g =
            appear), keeping the materialized walk near the phase cover time. *)
         let walk_local, stats =
           Phase_walk.run net prng ~backend:config.backend ?bits:config.bits
-            ~trans
+            ~powers_slot:entry.e_powers ~trans
             ~machine_of:(fun i -> s.(i))
             ~start:start_local ~rho:(min rho (Array.length s)) ~target_len
             ~matching:config.matching ()
@@ -377,6 +500,20 @@ let sample ?(config = default_config) ?faults net prng g =
       phase_stats = List.rev !stats_acc;
       health = Fault.Unrecoverable failure;
     }
+
+(* One-shot convenience: prepare then draw. Byte-identical to drawing from a
+   cached plan — the plan only relocates pure compute, never bookings or
+   prng draws. *)
+let sample ?(config = default_config) ?faults net prng g =
+  if Net.n net <> Graph.n g then
+    invalid_arg "Sampler.sample: net size must equal n";
+  if not (Graph.is_connected g) then
+    invalid_arg "Sampler.sample: graph must be connected";
+  Cc_obs.Trace.with_span "sampler.sample"
+    ~args:[ ("n", string_of_int (Graph.n g)) ]
+  @@ fun () ->
+  let plan = prepare ~config g in
+  draw plan ?faults net prng
 
 let sample_tree ?config ?faults ?(seed = 0) g =
   let net = Net.create ~n:(Graph.n g) in

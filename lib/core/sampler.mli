@@ -72,9 +72,57 @@ type result = {
           sublinear round bound is lost. *)
 }
 
+(** {1 Prepared plans}
+
+    The pipeline splits into a graph-only half and a seed-dependent half:
+    [prepare] computes everything that depends on the graph alone — the
+    (lazy-mixed) phase-1 transition matrix and its full power table, plus a
+    memo that accumulates later phases' Schur/shortcut state as draws
+    encounter them — and [draw] runs the walk + matching phases against a
+    plan. The contract, relied on by the ccserve plan cache:
+
+    - [draw (prepare g) net prng] consumes exactly the same prng stream and
+      books exactly the same Net events as [sample net prng g]; recorder
+      digests are byte-identical whether a plan is fresh or reused.
+    - A reused plan skips the pure compute (matrix powers, Schur solves —
+      no [shortcut.*]/[schur.*] trace spans on a memo hit) but never the
+      communication: the clique pays the paper's rounds on every draw.
+    - Plans are not thread-safe; confine each to one domain at a time. *)
+
+type plan
+
+(** [prepare ?config g] runs the graph-only phases.
+    @raise Invalid_argument on disconnected input. *)
+val prepare : ?config:config -> Cc_graph.Graph.t -> plan
+
+(** [draw plan ?faults net prng] draws one tree from a prepared plan; see
+    {!sample} for the walk and fault semantics.
+    @raise Invalid_argument if [Net.n net] differs from the plan's vertex
+    count. *)
+val draw :
+  plan ->
+  ?faults:Cc_clique.Fault.t ->
+  Cc_clique.Net.t ->
+  Cc_util.Prng.t ->
+  result
+
+(** [plan_fingerprint plan] is {!Cc_graph.Graph.fingerprint} of the prepared
+    graph — the plan cache's key material. *)
+val plan_fingerprint : plan -> string
+
+val plan_config : plan -> config
+val plan_graph : plan -> Cc_graph.Graph.t
+
+(** [plan_stats plan] is [(draws, memo_hits, memo_misses)] — cumulative
+    draws served and later-phase memo traffic. *)
+val plan_stats : plan -> int * int * int
+
+(** {1 One-shot sampling} *)
+
 (** [sample ?config ?faults net prng g] draws one spanning tree of the
     connected graph [g]. [Net.n net] must equal the vertex count; the walk
     starts at vertex 0 (the leader's vertex, as in Algorithm 1).
+    Equivalent to [draw (prepare ?config g) ?faults net prng].
 
     Under fault injection ([?faults], or a net armed via
     {!Cc_clique.Net.with_faults}) the sampler self-heals: lost packets are

@@ -23,10 +23,30 @@ type result = {
   walk_total : int;  (** total truncated-walk length across phases *)
 }
 
+(** {1 Prepared plans}
+
+    The same prepare/draw split as {!Sampler}: [prepare] computes the
+    phase-1 transition matrix and its power table once and memoizes later
+    phases' Schur/shortcut state as draws encounter them; [draw] consumes
+    exactly the prng stream [sample] would, so a cached plan and a fresh
+    run produce identical trees for the same seed. Plans are not
+    thread-safe. *)
+
+type plan
+
+(** @raise Invalid_argument on disconnected input. *)
+val prepare :
+  ?rho:int -> ?target_len:int -> ?lazy_walk:bool -> Cc_graph.Graph.t -> plan
+
+val draw : plan -> Cc_util.Prng.t -> result
+
+(** {1 One-shot sampling} *)
+
 (** [sample ?rho ?target_len ?lazy_walk g prng] draws a spanning tree of the
     connected graph [g], starting the underlying walk at vertex 0.
     Defaults mirror {!Sampler.default_config}: rho = ceil(sqrt n),
-    target_len = next_pow2(n^3 log2 n), lazy_walk = true. *)
+    target_len = next_pow2(n^3 log2 n), lazy_walk = true.
+    Equivalent to [draw (prepare ?rho ?target_len ?lazy_walk g) prng]. *)
 val sample :
   ?rho:int ->
   ?target_len:int ->

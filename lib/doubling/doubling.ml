@@ -411,6 +411,30 @@ let sample_tree ?faults net prng g ~tau0 =
   Cc_audit.Audit.observe_sink g tree;
   (tree, !total)
 
+(* Prepared plans, mirroring Sampler/Sequential for the ccserve cache. The
+   doubling pipeline has no reusable graph-only factorization — walks are
+   built by local neighbor stepping, re-randomized per draw — so the plan is
+   thin: it pins the validated graph, its canonical fingerprint, and tau0.
+   Caching one still saves the server re-parsing and re-validating the graph
+   per request, and gives the three methods a uniform plan interface. *)
+type plan = { plan_graph : Graph.t; plan_fingerprint : string; plan_tau0 : int }
+
+let prepare g ~tau0 =
+  if tau0 < 1 then invalid_arg "Doubling.prepare: tau0 < 1";
+  if not (Graph.is_connected g) then
+    invalid_arg "Doubling.prepare: graph must be connected";
+  {
+    plan_graph = g;
+    plan_fingerprint = Cc_graph.Graph.fingerprint g;
+    plan_tau0 = tau0;
+  }
+
+let plan_fingerprint plan = plan.plan_fingerprint
+let plan_graph plan = plan.plan_graph
+
+let draw plan ?faults net prng =
+  sample_tree ?faults net prng plan.plan_graph ~tau0:plan.plan_tau0
+
 let pagerank ?faults net prng g ~walks_per_node ~epsilon =
   if epsilon <= 0.0 || epsilon >= 1.0 then
     invalid_arg "Doubling.pagerank: epsilon out of range";

@@ -151,6 +151,31 @@ let effective_resistance g u v =
   let x = Cc_linalg.Solve.solve reduced b in
   x.(pos.(u))
 
+(* FNV-1a 64 over the canonical serialization. [edges] is stored sorted with
+   [u < v], so two graphs built from permuted edge lists serialize — and hash
+   — identically, while any weight change (printed at full [%.17g] precision)
+   lands in the digest. Constants match lib/obs's recorder chain, but the
+   implementation is local: lib/graph sits below the observability stack. *)
+let fnv_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64_string h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let fingerprint g =
+  let h = ref (fnv64_string fnv_basis (Printf.sprintf "n %d\n" g.n)) in
+  List.iter
+    (fun (u, v, w) ->
+      h := fnv64_string !h (Printf.sprintf "e %d %d %.17g\n" u v w))
+    g.edges;
+  Printf.sprintf "fnv64:%016Lx" !h
+
 let to_string g =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "n %d\n" g.n);

@@ -80,6 +80,15 @@ val of_laplacian : ?tol:float -> Cc_linalg.Mat.t -> t
     graph, via a Laplacian solve. *)
 val effective_resistance : t -> int -> int -> float
 
+(** {1 Identity} *)
+
+(** [fingerprint g] is a canonical digest of the graph ("fnv64:<16 hex>"):
+    FNV-1a 64 over the vertex count and the sorted edge list with weights at
+    full precision. Edge-order permutations of the same graph fingerprint
+    identically; any weight or topology change does not. Shared by the
+    ccserve plan cache and [Cc_audit]'s graph-identity check. *)
+val fingerprint : t -> string
+
 (** {1 Serialization} *)
 
 (** [to_string g] / [of_string s]: a line-oriented format

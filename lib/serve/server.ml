@@ -1,0 +1,395 @@
+module Graph = Cc_graph.Graph
+module Tree = Cc_graph.Tree
+module Prng = Cc_util.Prng
+module Net = Cc_clique.Net
+module Sampler = Cc_sampler.Sampler
+module Sequential = Cc_sampler.Sequential
+module Doubling = Cc_doubling.Doubling
+module Metrics = Cc_obs.Metrics
+module Journal = Cc_obs.Journal
+module Recorder = Cc_obs.Recorder
+
+let src = Logs.Src.create "cc.serve" ~doc:"ccserve daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  sock : string;
+  cache_cap : int;
+  max_requests : int option;
+  journal : Journal.t option;
+  on_net : (Net.t -> unit -> unit) option;
+}
+
+let default_config ~sock =
+  { sock; cache_cap = 8; max_requests = None; journal = None; on_net = None }
+
+(* A cached plan. The three samplers expose the same prepare/draw shape but
+   distinct plan types; the cache stores the sum. *)
+type plan_entry =
+  | P_cc of Sampler.plan
+  | P_seq of Sequential.plan
+  | P_doub of Doubling.plan
+
+type job = {
+  req : Protocol.request;
+  plan : plan_entry;
+  cache_hit : bool;
+  net : Net.t;
+  recorder : Recorder.t;
+  teardown : unit -> unit;  (* transport shutdown, when one was installed *)
+  master : Prng.t;  (* tree i draws from the i-th sequential split *)
+  mutable drawn : int;
+  started : float;
+}
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string;  (* pending response bytes *)
+  mutable queue : Protocol.request list;  (* parsed, FIFO (reversed) *)
+  mutable job : job option;
+  mutable alive : bool;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  cache : plan_entry Plan_cache.t;
+  mutable conns : conn list;
+  mutable next_cid : int;
+  mutable rr : int;  (* round-robin cursor over active jobs *)
+  mutable stop : bool;
+  mutable drained : bool;
+  mutable served : int;
+}
+
+let max_line_bytes = 8 * 1024 * 1024
+
+let journal_record t ?worker ?cause kind =
+  match t.config.journal with
+  | None -> ()
+  | Some j -> Journal.record j ?worker ?cause kind
+
+(* --- socket lifecycle --- *)
+
+(* A socket file with nobody accepting is a stale leftover from a crashed
+   server: probe-connect distinguishes the two. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          false
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then failwith (Printf.sprintf "Server.create: %s already serving" path);
+    (try Unix.unlink path with Unix.Unix_error _ -> ())
+  end
+
+let create config =
+  claim_socket config.sock;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX config.sock);
+     Unix.listen fd 16;
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      config;
+      listen_fd = fd;
+      cache = Plan_cache.create ~cap:config.cache_cap;
+      conns = [];
+      next_cid = 0;
+      rr = 0;
+      stop = false;
+      drained = false;
+      served = 0;
+    }
+  in
+  journal_record t "serve_start" ~cause:config.sock;
+  Log.info (fun m -> m "listening on %s" config.sock);
+  t
+
+let sock_path t = t.config.sock
+let served t = t.served
+let connections t = List.length (List.filter (fun c -> c.alive) t.conns)
+let cache_stats t = Plan_cache.stats t.cache
+let request_stop t = t.stop <- true
+
+(* --- request execution --- *)
+
+let plan_key req =
+  Protocol.method_name req.Protocol.meth ^ ":" ^ Graph.fingerprint req.Protocol.graph
+
+let make_plan (req : Protocol.request) =
+  match req.meth with
+  | Protocol.Cc -> P_cc (Sampler.prepare req.graph)
+  | Protocol.Sequential -> P_seq (Sequential.prepare req.graph)
+  | Protocol.Doubling ->
+      P_doub (Doubling.prepare req.graph ~tau0:(Graph.n req.graph))
+
+let start_job t conn (req : Protocol.request) =
+  let plan, cache_hit = Plan_cache.find_or_add t.cache (plan_key req) ~make:(fun () -> make_plan req) in
+  let n = Graph.n req.graph in
+  let net = Net.create ~n in
+  let recorder = Recorder.create ~machines:n () in
+  ignore (Net.attach_recorder net recorder);
+  let teardown =
+    match t.config.on_net with Some f -> f net | None -> fun () -> ()
+  in
+  Metrics.incr "server.requests";
+  journal_record t "serve_request" ~worker:conn.cid
+    ~cause:
+      (Printf.sprintf "%s k=%d %s" (Protocol.method_name req.meth) req.k
+         (if cache_hit then "hit" else "miss"));
+  conn.job <-
+    Some
+      {
+        req;
+        plan;
+        cache_hit;
+        net;
+        recorder;
+        teardown;
+        master = Prng.create ~seed:req.seed;
+        drawn = 0;
+        started = Unix.gettimeofday ();
+      }
+
+(* Draw tree [job.drawn]; headers are the exact bytes [cctree sample
+   --count] prints for tree index+1, so clients can reproduce one-shot
+   stdout verbatim. *)
+let draw_tree job =
+  let i = job.drawn in
+  let prng = Prng.split job.master in
+  match job.plan with
+  | P_cc plan ->
+      let r = Sampler.draw plan job.net prng in
+      let header =
+        Printf.sprintf "# tree %d: %d phases, %.0f rounds, walk length %d\n"
+          (i + 1) r.Sampler.phases r.Sampler.rounds r.Sampler.walk_total
+      in
+      (header, Tree.edges r.Sampler.tree)
+  | P_seq plan ->
+      let r = Sequential.draw plan prng in
+      let header =
+        Printf.sprintf "# tree %d: %d phases, walk length %d\n" (i + 1)
+          r.Sequential.phases r.Sequential.walk_total
+      in
+      (header, Tree.edges r.Sequential.tree)
+  | P_doub plan ->
+      let tree, steps = Doubling.draw plan job.net prng in
+      let header = Printf.sprintf "# tree %d: %d walk steps\n" (i + 1) steps in
+      (header, Tree.edges tree)
+
+let finish_job t conn job =
+  (try job.teardown () with _ -> ());
+  let ms = 1000.0 *. (Unix.gettimeofday () -. job.started) in
+  Metrics.observe "server.request_ms" ms;
+  conn.out <-
+    conn.out
+    ^ Protocol.done_line ?id:job.req.Protocol.id ~k:job.req.Protocol.k
+        ~cache_hit:job.cache_hit
+        ~digest:(Recorder.digest_hex job.recorder)
+        ~rounds:(Net.rounds job.net) ();
+  conn.job <- None;
+  t.served <- t.served + 1;
+  journal_record t "serve_done" ~worker:conn.cid
+    ~cause:(Printf.sprintf "%.1fms" ms);
+  match t.config.max_requests with
+  | Some n when t.served >= n -> t.stop <- true
+  | _ -> ()
+
+let fail_job t conn job message =
+  (try job.teardown () with _ -> ());
+  conn.out <- conn.out ^ Protocol.error_line ?id:job.req.Protocol.id message;
+  conn.job <- None;
+  t.served <- t.served + 1;
+  journal_record t "serve_error" ~worker:conn.cid ~cause:message
+
+(* --- input handling --- *)
+
+let enqueue_line t conn line =
+  if String.trim line = "" then ()
+  else
+    match Protocol.parse_request line with
+    | Ok req -> conn.queue <- req :: conn.queue
+    | Error m ->
+        conn.out <- conn.out ^ Protocol.error_line m;
+        journal_record t "serve_error" ~worker:conn.cid ~cause:m
+
+let split_lines t conn =
+  let s = Buffer.contents conn.inbuf in
+  let rec go start =
+    match String.index_from_opt s start '\n' with
+    | Some nl ->
+        enqueue_line t conn (String.sub s start (nl - start));
+        go (nl + 1)
+    | None ->
+        Buffer.clear conn.inbuf;
+        Buffer.add_substring conn.inbuf s start (String.length s - start)
+  in
+  go 0
+
+let close_conn t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    journal_record t "serve_close" ~worker:conn.cid
+  end
+
+let read_conn t conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 ->
+      (* EOF: serve what was already queued, then the flush path closes. *)
+      if conn.out = "" && conn.job = None && conn.queue = [] then
+        close_conn t conn
+  | len ->
+      Buffer.add_subbytes conn.inbuf chunk 0 len;
+      split_lines t conn;
+      if Buffer.length conn.inbuf > max_line_bytes then begin
+        conn.out <- conn.out ^ Protocol.error_line "request line too long";
+        close_conn t conn
+      end
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+
+let flush_conn t conn =
+  if conn.alive && conn.out <> "" then
+    match
+      Unix.write_substring conn.fd conn.out 0 (String.length conn.out)
+    with
+    | n ->
+        conn.out <- String.sub conn.out n (String.length conn.out - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> close_conn t conn
+
+let accept_conns t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        let cid = t.next_cid in
+        t.next_cid <- cid + 1;
+        t.conns <-
+          t.conns
+          @ [
+              {
+                cid;
+                fd;
+                inbuf = Buffer.create 256;
+                out = "";
+                queue = [];
+                job = None;
+                alive = true;
+              };
+            ];
+        journal_record t "serve_accept" ~worker:cid;
+        go ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+(* --- the loop --- *)
+
+let active_jobs t = List.filter (fun c -> c.alive && c.job <> None) t.conns
+
+let step t =
+  if t.drained then false
+  else begin
+    let live = List.filter (fun c -> c.alive) t.conns in
+    let busy =
+      active_jobs t <> []
+      || List.exists (fun c -> c.out <> "" || (c.queue <> [] && not t.stop)) live
+    in
+    let readable = List.map (fun c -> c.fd) live in
+    let readable = if t.stop then readable else t.listen_fd :: readable in
+    let writable =
+      List.filter_map (fun c -> if c.out <> "" then Some c.fd else None) live
+    in
+    let timeout = if busy then 0.0 else 0.05 in
+    let rd, _, _ =
+      match Unix.select readable writable [] timeout with
+      | r -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if (not t.stop) && List.mem t.listen_fd rd then accept_conns t;
+    List.iter
+      (fun c -> if c.alive && List.mem c.fd rd then read_conn t c)
+      t.conns;
+    (* Start queued requests (skipped while draining). *)
+    if not t.stop then
+      List.iter
+        (fun c ->
+          if c.alive && c.job = None then
+            match List.rev c.queue with
+            | [] -> ()
+            | req :: rest -> (
+                c.queue <- List.rev rest;
+                try start_job t c req
+                with
+                | Invalid_argument m | Failure m ->
+                    c.out <- c.out ^ Protocol.error_line ?id:req.Protocol.id m;
+                    t.served <- t.served + 1;
+                    journal_record t "serve_error" ~worker:c.cid ~cause:m))
+        t.conns;
+    (* One tree for one job, round-robin across connections. *)
+    (match active_jobs t with
+    | [] -> ()
+    | jobs ->
+        let c = List.nth jobs (t.rr mod List.length jobs) in
+        t.rr <- t.rr + 1;
+        let job = Option.get c.job in
+        (match draw_tree job with
+        | header, edges ->
+            job.drawn <- job.drawn + 1;
+            c.out <-
+              c.out
+              ^ Protocol.tree_line ?id:job.req.Protocol.id
+                  ~index:(job.drawn - 1) ~header ~edges ();
+            if job.drawn >= job.req.Protocol.k then finish_job t c job
+        | exception (Invalid_argument m | Failure m) -> fail_job t c job m
+        | exception e -> fail_job t c job (Printexc.to_string e)));
+    let queued =
+      List.fold_left
+        (fun acc c -> if c.alive then acc + List.length c.queue else acc)
+        0 t.conns
+    in
+    Metrics.set_gauge "server.queue_depth" (float_of_int queued);
+    Metrics.set_gauge "server.connections" (float_of_int (connections t));
+    List.iter (fun c -> flush_conn t c) t.conns;
+    t.conns <- List.filter (fun c -> c.alive) t.conns;
+    if
+      t.stop
+      && List.for_all (fun c -> c.out = "" && c.job = None) t.conns
+    then begin
+      journal_record t "serve_drain";
+      List.iter (fun c -> close_conn t c) t.conns;
+      t.conns <- [];
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink t.config.sock with Unix.Unix_error _ -> ());
+      journal_record t "serve_stop";
+      Log.info (fun m -> m "drained after %d request(s)" t.served);
+      t.drained <- true
+    end;
+    not t.drained
+  end
+
+let run t = while step t do () done

@@ -52,12 +52,19 @@ let sample_walk g prng ~start ~len =
   let rec go w = if w.gap_exp = 0 then w.verts else go (fill_level prng powers w) in
   go (initial_walk prng powers ~start ~levels)
 
-let sample_truncated_matrix prng ~trans ~start ~target_len ~rho
+let sample_truncated_matrix prng ~trans ~start ~target_len ~rho ?powers
     ?(max_material = 4_000_000) () =
   if target_len <= 0 then
     invalid_arg "Topdown.sample_truncated_matrix: target_len <= 0";
   let levels = levels_for ~len:target_len in
-  let powers = Mat.power_table trans ~max_exp:levels in
+  let powers =
+    match powers with
+    | Some p ->
+        if Array.length p < levels + 1 then
+          invalid_arg "Topdown.sample_truncated_matrix: powers table too short";
+        p
+    | None -> Mat.power_table trans ~max_exp:levels
+  in
   let rec go w =
     if Array.length w.verts > max_material then
       failwith "Topdown.sample_truncated: materialized walk exceeds cap";

@@ -68,13 +68,17 @@ val sample_truncated :
 (** [sample_truncated_matrix prng ~trans ~start ~target_len ~rho] is
     [sample_truncated] driven directly by a transition matrix rather than a
     graph — the form later phases need (the phase graph is a Schur
-    complement given as a matrix). *)
+    complement given as a matrix). [?powers] supplies a precomputed
+    [Mat.power_table trans] (length at least [levels_for target_len + 1]) so
+    prepared plans can reuse one table across many draws; the caller
+    guarantees it belongs to [trans]. *)
 val sample_truncated_matrix :
   Cc_util.Prng.t ->
   trans:Cc_linalg.Mat.t ->
   start:int ->
   target_len:int ->
   rho:int ->
+  ?powers:Cc_linalg.Mat.t array ->
   ?max_material:int ->
   unit ->
   int array

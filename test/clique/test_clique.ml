@@ -338,6 +338,44 @@ let test_power_table_books_rounds () =
   Alcotest.(check bool) "booked at least the muls" true
     (Net.rounds net >= 5.0 *. per_mul)
 
+let test_power_table_reuse_books_identically () =
+  (* Replaying a cached table (the ccserve warm-plan path) must book the
+     exact same event stream as computing it: recorder digests equal. *)
+  let prng = Prng.create ~seed:6 in
+  let n = 8 in
+  let m = random_stochastic prng n in
+  let record f =
+    let net = Net.create ~n in
+    let r = Cc_obs.Recorder.create ~machines:n () in
+    ignore (Net.attach_recorder net r);
+    let v = f net in
+    (v, Cc_obs.Recorder.digest_hex r, Net.rounds net)
+  in
+  let cold, d_cold, r_cold =
+    record (fun net -> Matmul.power_table net (Matmul.charged ()) m ~levels:4)
+  in
+  let pure = Matmul.power_table_pure m ~levels:4 in
+  let warm, d_warm, r_warm =
+    record (fun net ->
+        Matmul.power_table net (Matmul.charged ()) ~reuse:pure m ~levels:4)
+  in
+  Alcotest.(check string) "digest" d_cold d_warm;
+  Alcotest.(check (float 1e-9)) "rounds" r_cold r_warm;
+  Alcotest.(check bool) "returns the cached table" true (warm == pure);
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "level %d values" i)
+        true
+        (Mat.equal ~tol:1e-12 p cold.(i)))
+    warm;
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument "Matmul.power_table: reuse table has wrong length")
+    (fun () ->
+      ignore
+        (Matmul.power_table (Net.create ~n) (Matmul.charged ())
+           ~reuse:(Array.sub pure 0 3) m ~levels:4))
+
 let test_semiring_backend () =
   let prng = Prng.create ~seed:5 in
   let n = 27 in
@@ -609,6 +647,8 @@ let () =
           Alcotest.test_case "routed cost" `Quick test_matmul_routed_cost_linear;
           Alcotest.test_case "power table values" `Quick test_power_table_values;
           Alcotest.test_case "power table rounds" `Quick test_power_table_books_rounds;
+          Alcotest.test_case "power table reuse" `Quick
+            test_power_table_reuse_books_identically;
           Alcotest.test_case "off-size cost" `Quick test_mul_cost_off_size;
           Alcotest.test_case "semiring backend" `Quick test_semiring_backend;
         ] );

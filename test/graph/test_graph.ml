@@ -59,6 +59,35 @@ let test_serialization_roundtrip () =
   Alcotest.(check int) "n" (Graph.n g) (Graph.n g');
   Alcotest.(check bool) "edges equal" true (Graph.edges g = Graph.edges g')
 
+let test_fingerprint_permutation_invariant () =
+  let edges = [ (0, 1, 2.5); (1, 2, 1.0); (3, 4, 0.125); (0, 4, 7.0) ] in
+  let g = Graph.of_edges ~n:5 edges in
+  let g_rev = Graph.of_edges ~n:5 (List.rev edges) in
+  let g_flip =
+    Graph.of_edges ~n:5 (List.map (fun (u, v, w) -> (v, u, w)) edges)
+  in
+  let fp = Graph.fingerprint g in
+  Alcotest.(check string) "reversed edge list" fp (Graph.fingerprint g_rev);
+  Alcotest.(check string) "flipped endpoints" fp (Graph.fingerprint g_flip);
+  Alcotest.(check bool) "format" true
+    (String.length fp = 22 && String.sub fp 0 6 = "fnv64:");
+  (* Round-tripping through the wire format preserves identity. *)
+  Alcotest.(check string) "serialization roundtrip" fp
+    (Graph.fingerprint (Graph.of_string (Graph.to_string g)))
+
+let test_fingerprint_sensitivity () =
+  let g = Graph.of_edges ~n:5 [ (0, 1, 2.5); (1, 2, 1.0); (3, 4, 0.125) ] in
+  let fp = Graph.fingerprint g in
+  let bumped =
+    Graph.of_edges ~n:5 [ (0, 1, 2.5 +. 1e-12); (1, 2, 1.0); (3, 4, 0.125) ]
+  in
+  Alcotest.(check bool) "weight change" true (fp <> Graph.fingerprint bumped);
+  let rewired = Graph.of_edges ~n:5 [ (0, 1, 2.5); (1, 2, 1.0); (2, 4, 0.125) ] in
+  Alcotest.(check bool) "topology change" true (fp <> Graph.fingerprint rewired);
+  let padded = Graph.of_edges ~n:6 [ (0, 1, 2.5); (1, 2, 1.0); (3, 4, 0.125) ] in
+  Alcotest.(check bool) "vertex-count change" true
+    (fp <> Graph.fingerprint padded)
+
 (* --- Matrices --- *)
 
 let test_transition_matrix_stochastic () =
@@ -342,6 +371,24 @@ let qcheck_tests =
       (fun (n, seed) ->
         let prng = Prng.create ~seed in
         Graph.is_connected (Cc_graph.Gen.random_connected prng ~n ~extra_edges:(n / 2)));
+    Test.make ~name:"fingerprint is edge-order invariant" ~count:100 params
+      (fun (n, seed) ->
+        let prng = Prng.create ~seed in
+        let g =
+          Cc_graph.Gen.random_weights prng
+            (Cc_graph.Gen.random_connected prng ~n ~extra_edges:n)
+            ~max_weight:8
+        in
+        let edges = Array.of_list (Graph.edges g) in
+        (* Fisher–Yates shuffle driven by the test prng. *)
+        for i = Array.length edges - 1 downto 1 do
+          let j = Prng.int prng (i + 1) in
+          let tmp = edges.(i) in
+          edges.(i) <- edges.(j);
+          edges.(j) <- tmp
+        done;
+        let g' = Graph.of_edges ~n (Array.to_list edges) in
+        String.equal (Graph.fingerprint g) (Graph.fingerprint g'));
     Test.make ~name:"laplacian rows sum to zero" ~count:100 params
       (fun (n, seed) ->
         let prng = Prng.create ~seed in
@@ -422,6 +469,10 @@ let () =
           Alcotest.test_case "deg_in" `Quick test_deg_in;
           Alcotest.test_case "disconnected" `Quick test_disconnected;
           Alcotest.test_case "serialization" `Quick test_serialization_roundtrip;
+          Alcotest.test_case "fingerprint invariance" `Quick
+            test_fingerprint_permutation_invariant;
+          Alcotest.test_case "fingerprint sensitivity" `Quick
+            test_fingerprint_sensitivity;
         ] );
       ( "matrices",
         [

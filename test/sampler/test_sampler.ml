@@ -191,6 +191,95 @@ let test_sampler_deterministic_given_seed () =
   done;
   Alcotest.(check bool) "different seeds eventually differ" true !differs
 
+(* --- Prepared plans: the ccserve prepare/draw contract --- *)
+
+let record_run ~n f =
+  let net = Net.create ~n in
+  let r = Cc_obs.Recorder.create ~machines:n () in
+  ignore (Net.attach_recorder net r);
+  let v = f net in
+  (v, Cc_obs.Recorder.digest_hex r)
+
+let test_plan_draw_matches_sample () =
+  let g = Gen.build (Prng.create ~seed:1) Cc_graph.Gen.Complete ~n:8 in
+  let n = Graph.n g in
+  let seed = 11 in
+  let r1, d1 =
+    record_run ~n (fun net -> Sampler.sample net (Prng.create ~seed) g)
+  in
+  let plan = Sampler.prepare g in
+  let r2, d2 =
+    record_run ~n (fun net -> Sampler.draw plan net (Prng.create ~seed))
+  in
+  Alcotest.(check bool) "same tree" true
+    (Tree.equal r1.Sampler.tree r2.Sampler.tree);
+  Alcotest.(check string) "same digest" d1 d2;
+  Alcotest.(check string) "fingerprint" (Graph.fingerprint g)
+    (Sampler.plan_fingerprint plan)
+
+let span_names roots =
+  let rec go acc s =
+    List.fold_left go (s.Cc_obs.Trace.name :: acc) s.Cc_obs.Trace.children
+  in
+  List.fold_left go [] roots
+
+let test_plan_reuse_skips_compute () =
+  let g = Gen.build (Prng.create ~seed:1) Cc_graph.Gen.Complete ~n:8 in
+  let n = Graph.n g in
+  let seed = 5 in
+  let plan = Sampler.prepare g in
+  let draw () =
+    record_run ~n (fun net -> Sampler.draw plan net (Prng.create ~seed))
+  in
+  let r1, d1 = draw () in
+  (* Warm draw: same seed hits the per-S memo, so the Schur/shortcut
+     solves are skipped entirely — no schur.* / shortcut.* spans — while
+     the booked event stream stays byte-identical. *)
+  let tr = Cc_obs.Trace.create () in
+  let r2, d2 = Cc_obs.Trace.with_trace tr draw in
+  Alcotest.(check bool) "same tree" true
+    (Tree.equal r1.Sampler.tree r2.Sampler.tree);
+  Alcotest.(check string) "same digest" d1 d2;
+  Alcotest.(check bool) "multi-phase run" true (r2.Sampler.phases > 1);
+  let draws, hits, misses = Sampler.plan_stats plan in
+  Alcotest.(check int) "draws" 2 draws;
+  Alcotest.(check bool) "memo hits on the warm draw" true (hits >= misses);
+  Alcotest.(check bool) "memo was exercised" true (misses > 0);
+  let offenders =
+    List.filter
+      (fun name ->
+        String.length name >= 5
+        && (String.sub name 0 5 = "schur" || String.sub name 0 5 = "short"))
+      (span_names (Cc_obs.Trace.roots tr))
+  in
+  Alcotest.(check (list string)) "no schur/shortcut spans when warm" []
+    offenders
+
+let test_plan_validation () =
+  let disconnected = Graph.of_unweighted_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.check_raises "prepare rejects disconnected"
+    (Invalid_argument "Sampler.prepare: graph must be connected") (fun () ->
+      ignore (Sampler.prepare disconnected));
+  let g = Gen.lollipop ~clique:4 ~tail:3 in
+  let plan = Sampler.prepare g in
+  Alcotest.check_raises "draw rejects wrong net size"
+    (Invalid_argument "Sampler.draw: net size must equal n") (fun () ->
+      ignore (Sampler.draw plan (Net.create ~n:3) (Prng.create ~seed:0)))
+
+let test_sequential_plan_matches_sample () =
+  let g = Gen.build (Prng.create ~seed:2) Cc_graph.Gen.Complete ~n:8 in
+  let seed = 3 in
+  let r1 = Sequential.sample g (Prng.create ~seed) in
+  let plan = Sequential.prepare g in
+  let r2 = Sequential.draw plan (Prng.create ~seed) in
+  let r3 = Sequential.draw plan (Prng.create ~seed) in
+  Alcotest.(check bool) "plan tree = sample tree" true
+    (Tree.equal r1.Sequential.tree r2.Sequential.tree);
+  Alcotest.(check bool) "warm draw identical" true
+    (Tree.equal r2.Sequential.tree r3.Sequential.tree);
+  Alcotest.(check int) "same phase count" r1.Sequential.phases
+    r2.Sequential.phases
+
 (* --- Full sampler: distributional checks (E5 in miniature) --- *)
 
 let sampler_tree_tv ?(config = default) g trials seed =
@@ -578,6 +667,10 @@ let () =
           Alcotest.test_case "input validation" `Quick test_sampler_rejects_bad_input;
           Alcotest.test_case "phase count" `Quick test_sampler_phase_count_scales_with_rho;
           Alcotest.test_case "determinism" `Quick test_sampler_deterministic_given_seed;
+          Alcotest.test_case "plan draw = sample" `Quick test_plan_draw_matches_sample;
+          Alcotest.test_case "plan reuse skips compute" `Quick test_plan_reuse_skips_compute;
+          Alcotest.test_case "plan validation" `Quick test_plan_validation;
+          Alcotest.test_case "sequential plan" `Quick test_sequential_plan_matches_sample;
         ] );
       ( "distribution",
         [
